@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("50MiB, 1GiB,2048KiB,77")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{50 << 20, 1 << 30, 2048 << 10, 77}
+	if len(got) != len(want) {
+		t.Fatalf("%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("size %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseSizesEmpty(t *testing.T) {
+	got, err := parseSizes("")
+	if err != nil || got != nil {
+		t.Fatalf("%v %v", got, err)
+	}
+}
+
+func TestParseSizesBad(t *testing.T) {
+	if _, err := parseSizes("12XB"); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	// Every ordered id must exist in the registry and vice versa.
+	seen := map[string]bool{}
+	for _, id := range order {
+		if _, ok := all[id]; !ok {
+			t.Fatalf("ordered id %q missing from registry", id)
+		}
+		seen[id] = true
+	}
+	for id := range all {
+		if !seen[id] {
+			t.Fatalf("registry id %q missing from order", id)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Command planck-scale prints the §9.1 deployment-cost table and lets
+// operators explore other switch radixes.
+//
+// Usage:
+//
+//	planck-scale
+//	planck-scale -ports 32 -monitor 2
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"planck/internal/experiments"
+	"planck/internal/scale"
+)
+
+func main() {
+	ports := flag.Int("ports", 0, "explore a custom switch radix (0 = just the paper table)")
+	monitor := flag.Int("monitor", 1, "monitor ports per switch for -ports mode")
+	flag.Parse()
+
+	fmt.Print(experiments.Scalability().Render())
+
+	if *ports > 0 {
+		d := scale.PlanFatTree(*ports, *monitor)
+		fmt.Printf("\ncustom fat-tree (%d-port, %d monitor): %s\n", *ports, *monitor, d)
+		j := scale.PlanJellyfish(*ports, *monitor, d.Hosts)
+		fmt.Printf("custom Jellyfish (same hosts):        %s\n", j)
+	}
+}

@@ -1,0 +1,91 @@
+// Command planck-sim runs a single workload scenario on the simulated
+// testbed and prints per-flow statistics.
+//
+// Usage:
+//
+//	planck-sim -workload stride -scheme planckte -size 100MiB -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"planck/internal/experiments"
+	"planck/internal/units"
+)
+
+func main() {
+	wl := flag.String("workload", "stride", "stride | shuffle | bijection | random | staggered")
+	scheme := flag.String("scheme", "planckte", "static | poll1s | poll01s | planckte | optimal")
+	sizeStr := flag.String("size", "100MiB", "per-flow transfer size")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	timeoutS := flag.Int("timeout-s", 120, "virtual-time timeout in seconds")
+	flag.Parse()
+
+	kinds := map[string]experiments.WorkloadKind{
+		"stride":    experiments.WorkloadStride,
+		"shuffle":   experiments.WorkloadShuffle,
+		"bijection": experiments.WorkloadRandomBijection,
+		"random":    experiments.WorkloadRandom,
+		"staggered": experiments.WorkloadStaggeredProb,
+	}
+	schemes := map[string]experiments.Scheme{
+		"static":   experiments.SchemeStatic,
+		"poll1s":   experiments.SchemePoll1s,
+		"poll01s":  experiments.SchemePoll01s,
+		"planckte": experiments.SchemePlanckTE,
+		"optimal":  experiments.SchemeOptimal,
+	}
+	kind, ok := kinds[strings.ToLower(*wl)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	sch, ok := schemes[strings.ToLower(*scheme)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	res := experiments.RunWorkload(kind, sch, size, *seed,
+		units.Duration(*timeoutS)*units.Duration(units.Second))
+
+	fmt.Printf("workload=%s scheme=%s size=%s seed=%d\n", kind, sch, units.BytesString(size), *seed)
+	fmt.Printf("flows completed: %d/%d (finished at %v)\n", res.Completed, res.Total, res.FinishedAt)
+	fmt.Printf("avg flow throughput: %.2f Gbps\n", res.AvgGoodput().Gigabits())
+	fmt.Printf("flow throughput p10/p50/p90: %.2f / %.2f / %.2f Gbps\n",
+		units.Rate(res.Goodputs.Quantile(0.1)).Gigabits(),
+		units.Rate(res.Goodputs.Median()).Gigabits(),
+		units.Rate(res.Goodputs.Quantile(0.9)).Gigabits())
+	if res.HostCompletion.N() > 0 {
+		fmt.Printf("host completion p50: %.2fs\n", res.HostCompletion.Median())
+	}
+}
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult = 1 << 30
+		s = strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(s, "KiB")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"100MiB", 100 << 20},
+		{"1GiB", 1 << 30},
+		{"512KiB", 512 << 10},
+		{"12345", 12345},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	if _, err := parseSize("zzz"); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package planck_test
+
+import (
+	"fmt"
+
+	"planck"
+)
+
+// ExampleRateEstimator shows the paper's core trick: even a sparse,
+// irregular sample of a TCP stream yields an exact rate estimate,
+// because sequence numbers carry the byte count.
+func ExampleNewRateEstimator() {
+	e := planck.NewRateEstimator()
+
+	// A 9.5 Gbps stream sampled roughly 1-in-10: 14600 bytes every
+	// 12.3 µs.
+	var t planck.Time
+	var seq uint32
+	for i := 0; i < 200; i++ {
+		e.Observe(t, seq)
+		seq += 14600
+		t = t.Add(planck.Duration(12300))
+	}
+	rate, _, _ := e.Rate()
+	fmt.Printf("estimated %.1f Gbps from 1-in-10 samples\n", rate.Gigabits())
+	// Output: estimated 9.5 Gbps from 1-in-10 samples
+}
+
+// ExampleNewSingleSwitchTestbed runs the smallest end-to-end pipeline:
+// a saturated flow, an oversubscribed mirror, and a collector estimate.
+func ExampleNewSingleSwitchTestbed() {
+	tb, err := planck.NewSingleSwitchTestbed(4, 42)
+	if err != nil {
+		panic(err)
+	}
+	conn, err := tb.Hosts[0].StartFlow(0, planck.HostIP(1), 5001, 8<<20, 1)
+	if err != nil {
+		panic(err)
+	}
+	tb.Run(50_000_000) // 50 ms of virtual time
+
+	if rate, ok := tb.Collector(0).FlowRate(conn.FlowKey()); ok && rate > 5*planck.Gbps {
+		fmt.Println("collector tracked the flow at multi-Gbps rate")
+	}
+	// Output: collector tracked the flow at multi-Gbps rate
+}

@@ -1,0 +1,3 @@
+module planck
+
+go 1.22

@@ -1,0 +1,278 @@
+// Package controller models the Planck SDN controller (§3.3, §4.1): it
+// installs PAST spanning-tree routes and shadow-MAC alternates into every
+// switch, configures oversubscribed mirroring, shares routing state with
+// collectors (the port-inference oracle of §3.2.1), aggregates collector
+// congestion events for applications, and actuates reroutes through the
+// two mechanisms of §6.2 — spoofed unicast ARP and OpenFlow rewrite
+// rules — with control-channel latencies calibrated to Fig. 16.
+package controller
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planck/internal/core"
+	"planck/internal/packet"
+	"planck/internal/sim"
+	"planck/internal/switchsim"
+	"planck/internal/tcpsim"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// Config holds control-channel latency models. The defaults reproduce the
+// measured response-latency CDFs of Fig. 16: ARP-based control lands at
+// 2.5–3.5 ms and OpenFlow-based control at 4–9 ms, with most of the
+// difference attributable to switch firmware rule-installation time.
+type Config struct {
+	// ArpDelayMin/Max bound the controller->host packet-out path: event
+	// processing in the controller, the OpenFlow channel, and the switch
+	// CPU injecting the crafted ARP.
+	ArpDelayMin, ArpDelayMax units.Duration
+	// OFDelayMin/Max bound OpenFlow rule installation at the switch.
+	OFDelayMin, OFDelayMax units.Duration
+	// SettleDelay is how long the controller waits after installing
+	// routes before using them, giving collectors time to absorb the
+	// route-sync broadcast (§4.1).
+	SettleDelay units.Duration
+}
+
+// DefaultConfig returns the Fig. 16-calibrated latency model.
+func DefaultConfig() Config {
+	return Config{
+		ArpDelayMin: 2200 * units.Microsecond,
+		ArpDelayMax: 3100 * units.Microsecond,
+		OFDelayMin:  3700 * units.Microsecond,
+		OFDelayMax:  8500 * units.Microsecond,
+		SettleDelay: 1 * units.Millisecond,
+	}
+}
+
+// Controller wires the network together.
+type Controller struct {
+	eng      *sim.Engine
+	net      *topo.Network
+	cfg      Config
+	rng      *rand.Rand
+	switches []*switchsim.Switch
+	hosts    []*tcpsim.Host
+
+	collectors []*core.Collector // indexed by switch, nil entries allowed
+
+	subs []func(ev core.CongestionEvent)
+
+	// initialTree records the PAST tree each destination's base route
+	// uses this run (PAST assigns a random spanning tree per address).
+	initialTree []int
+
+	// OnReroute observes every actuation at decision time (before the
+	// control-channel delay), letting experiments measure response
+	// latency end to end.
+	OnReroute func(now units.Time, flow packet.FlowKey, srcHost, dstHost, tree int, viaARP bool)
+
+	// Statistics.
+	ARPReroutes int64
+	OFReroutes  int64
+	Events      int64
+}
+
+// New creates a controller over an assembled data plane. The switches and
+// hosts slices must be indexed consistently with net.
+func New(eng *sim.Engine, net *topo.Network, switches []*switchsim.Switch, hosts []*tcpsim.Host, cfg Config, rng *rand.Rand) *Controller {
+	if rng == nil {
+		panic("controller: need a deterministic rng")
+	}
+	c := &Controller{
+		eng:        eng,
+		net:        net,
+		cfg:        cfg,
+		rng:        rng,
+		switches:   switches,
+		hosts:      hosts,
+		collectors: make([]*core.Collector, len(switches)),
+	}
+	return c
+}
+
+// Network returns the topology.
+func (c *Controller) Network() *topo.Network { return c.net }
+
+// Engine returns the simulation engine.
+func (c *Controller) Engine() *sim.Engine { return c.eng }
+
+// InstallRoutes programs every switch with the MAC entries of all routing
+// trees, the egress shadow-MAC restore rules, edge-port marking, and —
+// when mirror is true — oversubscribed mirroring of every data port to
+// the switch's monitor port. initialTrees assigns each destination's
+// base route (PAST picks one tree per address); nil means tree 0
+// everywhere.
+func (c *Controller) InstallRoutes(initialTrees []int, mirror bool) {
+	if initialTrees == nil {
+		initialTrees = make([]int, c.net.NumHosts())
+	}
+	if len(initialTrees) != c.net.NumHosts() {
+		panic(fmt.Sprintf("controller: %d initial trees for %d hosts", len(initialTrees), c.net.NumHosts()))
+	}
+	c.initialTree = initialTrees
+	for s, sw := range c.switches {
+		for mac, port := range c.net.MACEntries(s) {
+			sw.InstallMAC(mac, port)
+		}
+		for shadow, real := range c.net.EgressRewrites(s) {
+			sw.InstallRewrite(shadow, real)
+		}
+		for p, ep := range c.net.Ports[s] {
+			if ep.Kind == topo.ToHost {
+				sw.SetEdgePort(p, true)
+			}
+		}
+		if mirror && c.net.MonitorPort[s] >= 0 {
+			sw.EnableMirror(c.net.MonitorPort[s], nil)
+		}
+	}
+	// Point every host's ARP cache at each destination's assigned tree.
+	for i, h := range c.hosts {
+		for d := 0; d < c.net.NumHosts(); d++ {
+			if d == i {
+				continue
+			}
+			h.SetNeighbor(topo.HostIP(d), topo.ShadowMAC(d, initialTrees[d]))
+		}
+	}
+}
+
+// InitialTree returns the PAST tree assigned to destination d this run.
+func (c *Controller) InitialTree(d int) int { return c.initialTree[d] }
+
+// AttachCollector binds a collector to switch s: it receives the routing
+// oracle and its congestion events are forwarded to subscribers.
+func (c *Controller) AttachCollector(s int, col *core.Collector) {
+	c.collectors[s] = col
+	col.SetPortMapper(NewSwitchMapper(c.net, s))
+	col.Subscribe(func(ev core.CongestionEvent) {
+		c.Events++
+		for _, fn := range c.subs {
+			fn(ev)
+		}
+	})
+}
+
+// Collector returns switch s's collector, or nil.
+func (c *Controller) Collector(s int) *core.Collector { return c.collectors[s] }
+
+// Subscribe registers an application for congestion events from any
+// collector.
+func (c *Controller) Subscribe(fn func(ev core.CongestionEvent)) {
+	c.subs = append(c.subs, fn)
+}
+
+// Switch returns switch s.
+func (c *Controller) Switch(s int) *switchsim.Switch { return c.switches[s] }
+
+// Host returns host h.
+func (c *Controller) Host(h int) *tcpsim.Host { return c.hosts[h] }
+
+func (c *Controller) delay(lo, hi units.Duration) units.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + units.Duration(c.rng.Int63n(int64(hi-lo)))
+}
+
+// RerouteARP repoints srcHost's ARP entry for dstHost at the shadow MAC
+// of tree, by sending a spoofed unicast ARP request through the source's
+// edge switch (§6.2). The ARP packet itself traverses the (possibly
+// congested) data network.
+func (c *Controller) RerouteARP(now units.Time, srcHost, dstHost, tree int) {
+	c.ARPReroutes++
+	if c.OnReroute != nil {
+		c.OnReroute(now, packet.FlowKey{}, srcHost, dstHost, tree, true)
+	}
+	at := now.Add(c.delay(c.cfg.ArpDelayMin, c.cfg.ArpDelayMax))
+	c.eng.Schedule(at, sim.Callback(func(fire units.Time) {
+		attach := c.net.Hosts[srcHost]
+		sw := c.switches[attach.Switch]
+		pkt := c.eng.NewPacket()
+		pkt.Kind = sim.KindARP
+		pkt.SrcMAC = packet.MAC{0x02, 0xff, 0, 0, 0, 0xfe} // controller's MAC
+		pkt.DstMAC = c.hosts[srcHost].MAC()
+		pkt.WireLen = packet.EthernetHeaderLen + packet.ARPBodyLen
+		pkt.ARP = packet.ARP{
+			Op:        packet.ARPRequest,
+			SenderMAC: topo.ShadowMAC(dstHost, tree),
+			SenderIP:  topo.HostIP(dstHost),
+			TargetMAC: c.hosts[srcHost].MAC(),
+			TargetIP:  topo.HostIP(srcHost),
+		}
+		pkt.SentAt = fire
+		sw.Inject(fire, attach.Port, pkt)
+	}), nil)
+}
+
+// RerouteOF installs a destination-MAC rewrite rule for the flow at the
+// source's ingress switch after the modelled rule-installation latency.
+func (c *Controller) RerouteOF(now units.Time, flow packet.FlowKey, srcHost, dstHost, tree int) {
+	c.OFReroutes++
+	if c.OnReroute != nil {
+		c.OnReroute(now, flow, srcHost, dstHost, tree, false)
+	}
+	at := now.Add(c.delay(c.cfg.OFDelayMin, c.cfg.OFDelayMax))
+	c.eng.Schedule(at, sim.Callback(func(fire units.Time) {
+		attach := c.net.Hosts[srcHost]
+		sw := c.switches[attach.Switch]
+		sw.InstallFlowRule(switchsim.FlowRule{
+			Match:      flow,
+			RewriteDst: true,
+			NewDst:     topo.ShadowMAC(dstHost, tree),
+		})
+	}), nil)
+}
+
+// SwitchMapper is the routing oracle a collector uses to infer ports from
+// sampled packets (§3.2.1): the controller shares each switch's MAC table
+// and the topology.
+type SwitchMapper struct {
+	net *topo.Network
+	sw  int
+	out map[uint64]int32
+}
+
+// NewSwitchMapper builds the oracle for switch s.
+func NewSwitchMapper(net *topo.Network, s int) *SwitchMapper {
+	m := &SwitchMapper{net: net, sw: s, out: make(map[uint64]int32)}
+	for mac, port := range net.MACEntries(s) {
+		m.out[mac.U64()] = int32(port)
+	}
+	return m
+}
+
+// OutputPort implements core.PortMapper.
+func (m *SwitchMapper) OutputPort(dst packet.MAC) (int, bool) {
+	p, ok := m.out[dst.U64()]
+	return int(p), ok
+}
+
+// InputPort implements core.PortMapper: walk the destination tree path
+// from the source host and report the port the packet entered this
+// switch on.
+func (m *SwitchMapper) InputPort(src, dst packet.MAC) (int, bool) {
+	srcHost, _, ok := topo.TreeOfMAC(src)
+	if !ok || srcHost < 0 || srcHost >= m.net.NumHosts() {
+		return 0, false
+	}
+	dstHost, tree, ok := topo.TreeOfMAC(dst)
+	if !ok || tree >= m.net.NumTrees || dstHost < 0 || dstHost >= m.net.NumHosts() || srcHost == dstHost {
+		return 0, false
+	}
+	attach := m.net.Hosts[srcHost]
+	if attach.Switch == m.sw {
+		return attach.Port, true
+	}
+	for _, l := range m.net.PathFor(srcHost, dstHost, tree) {
+		ep := m.net.Ports[l.Switch][l.Port]
+		if ep.Kind == topo.ToSwitch && ep.Switch == m.sw {
+			return ep.Port, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// PortMapper resolves sampled packets to the monitored switch's ports.
+// Mirrored frames carry no metadata (§3.2.1), so the collector infers
+// ports from routing state the controller shares with it.
+type PortMapper interface {
+	// OutputPort returns the switch egress port for a destination MAC.
+	OutputPort(dst packet.MAC) (int, bool)
+	// InputPort returns the ingress port for a (src, dst) MAC pair.
+	InputPort(src, dst packet.MAC) (int, bool)
+}
+
+// Config tunes a Collector. Zero values take paper defaults.
+type Config struct {
+	// SwitchName labels the monitored switch in events and dumps.
+	SwitchName string
+	// NumPorts is the monitored switch's port count.
+	NumPorts int
+	// LinkRate is the capacity of each egress link.
+	LinkRate units.Rate
+	// MinGap and MaxBurst configure the rate estimator (§3.2.2).
+	MinGap   units.Duration
+	MaxBurst units.Duration
+	// UtilThreshold is the fraction of LinkRate at which a link counts as
+	// congested and an event fires.
+	UtilThreshold float64
+	// FlowFreshness bounds how stale a flow's estimate may be and still
+	// contribute to link utilization.
+	FlowFreshness units.Duration
+	// EventCooldown rate-limits congestion events per link.
+	EventCooldown units.Duration
+	// RingPackets sizes the vantage-point sample ring (0 disables).
+	RingPackets int
+	// TrackRetransmits enables the §3.2.2 extension inferring per-flow
+	// retransmission rates from duplicate sequence numbers.
+	TrackRetransmits bool
+	// UDPSeqOffset, when >= 0, treats the four payload bytes at that
+	// offset of UDP datagrams as a big-endian application packet counter
+	// and estimates UDP flow throughput from it (§3.2.2's
+	// generalization). -0 is offset zero; the zero value disables — set
+	// UDPSeqEnabled to use offset 0.
+	UDPSeqEnabled bool
+	UDPSeqOffset  int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MinGap == 0 {
+		c.MinGap = DefaultMinGap
+	}
+	if c.MaxBurst == 0 {
+		c.MaxBurst = DefaultMaxBurst
+	}
+	if c.UtilThreshold == 0 {
+		c.UtilThreshold = 0.90
+	}
+	if c.FlowFreshness == 0 {
+		c.FlowFreshness = 5 * units.Millisecond
+	}
+	if c.EventCooldown == 0 {
+		c.EventCooldown = 250 * units.Microsecond
+	}
+}
+
+// FlowInfo is a point-in-time flow snapshot included in events and query
+// responses.
+type FlowInfo struct {
+	Key    packet.FlowKey
+	DstMAC packet.MAC
+	Rate   units.Rate
+	// OutPort is the flow's egress port at this switch.
+	OutPort int
+}
+
+// BoundaryKind classifies flow-boundary observations.
+type BoundaryKind uint8
+
+// Flow boundaries (§9.2: SYN/FIN/RST packets "mark the beginning and end
+// of flows" and sampling them quickly gives "faster knowledge of these
+// network events").
+const (
+	FlowStart BoundaryKind = iota // SYN without ACK
+	FlowEnd                       // FIN or RST
+)
+
+// String implements fmt.Stringer.
+func (k BoundaryKind) String() string {
+	if k == FlowEnd {
+		return "end"
+	}
+	return "start"
+}
+
+// CongestionEvent reports a link whose estimated utilization crossed the
+// configured threshold. Flows carries the context annotations §3.3
+// describes: the flows using the link and their current rates.
+type CongestionEvent struct {
+	Time       units.Time
+	SwitchName string
+	Port       int
+	Util       units.Rate
+	Capacity   units.Rate
+	Flows      []FlowInfo
+}
+
+// Stats aggregates collector counters.
+type Stats struct {
+	Samples        int64 // frames ingested
+	DecodeErrors   int64
+	NonTCP         int64 // frames without a usable sequence stream
+	Flows          int   // live flow-table entries
+	RateUpdates    int64
+	EventsEmitted  int64
+	OutOfOrder     int64 // sequence regressions ignored by estimators
+	UnmappedOutput int64 // samples whose egress port could not be inferred
+}
+
+// Collector is one monitor port's processing pipeline.
+type Collector struct {
+	cfg    Config
+	mapper PortMapper
+
+	dec   packet.Decoded
+	flows map[packet.FlowKey]*FlowState
+
+	// portFlows[p] holds flows currently mapped to egress port p.
+	portFlows [][]*FlowState
+
+	lastEvent []units.Time
+
+	subs     []func(ev CongestionEvent)
+	boundary []func(t units.Time, key packet.FlowKey, kind BoundaryKind)
+
+	ring *Ring
+
+	now units.Time
+
+	stats Stats
+}
+
+// New creates a collector.
+func New(cfg Config) *Collector {
+	cfg.fillDefaults()
+	c := &Collector{
+		cfg:   cfg,
+		flows: make(map[packet.FlowKey]*FlowState),
+	}
+	if cfg.NumPorts > 0 {
+		c.portFlows = make([][]*FlowState, cfg.NumPorts)
+		c.lastEvent = make([]units.Time, cfg.NumPorts)
+		for i := range c.lastEvent {
+			c.lastEvent[i] = -1 << 62
+		}
+	}
+	if cfg.RingPackets > 0 {
+		c.ring = NewRing(cfg.RingPackets)
+	}
+	return c
+}
+
+// SetPortMapper installs (or replaces, after a route change) the routing
+// state used for port inference.
+func (c *Collector) SetPortMapper(m PortMapper) { c.mapper = m }
+
+// Subscribe registers fn for congestion events.
+func (c *Collector) Subscribe(fn func(ev CongestionEvent)) { c.subs = append(c.subs, fn) }
+
+// SubscribeFlowBoundaries registers fn for flow start/end observations —
+// a sampled SYN (without ACK) or FIN/RST. How quickly these arrive under
+// load depends on the switch's sampling policy; §9.2's preferential
+// sampling exists precisely to protect them.
+func (c *Collector) SubscribeFlowBoundaries(fn func(t units.Time, key packet.FlowKey, kind BoundaryKind)) {
+	c.boundary = append(c.boundary, fn)
+}
+
+// Stats returns a snapshot of the collector's counters. OutOfOrder is
+// aggregated across live flow estimators, so it can shrink when idle
+// flows are expired.
+func (c *Collector) Stats() Stats {
+	s := c.stats
+	s.Flows = len(c.flows)
+	for _, f := range c.flows {
+		s.OutOfOrder += f.Est.OOO
+	}
+	return s
+}
+
+// Ingest processes one sampled frame captured at time t. Timestamps must
+// be non-decreasing. The frame buffer is only borrowed for the call.
+func (c *Collector) Ingest(t units.Time, frame []byte) error {
+	if t < c.now {
+		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, c.now)
+	}
+	c.now = t
+	c.stats.Samples++
+	if c.ring != nil {
+		c.ring.Push(t, frame)
+	}
+	if err := c.dec.Decode(frame); err != nil {
+		// ARP and other non-IP traffic still lands in the ring; it just
+		// carries no sequence stream to estimate from.
+		if c.dec.Has(packet.LayerARP) {
+			c.stats.NonTCP++
+			return nil
+		}
+		c.stats.DecodeErrors++
+		return err
+	}
+	if !c.dec.Has(packet.LayerTCP) {
+		c.stats.NonTCP++
+		if c.cfg.UDPSeqEnabled && c.dec.Has(packet.LayerUDP) {
+			c.ingestUDP(t, frame)
+		}
+		return nil
+	}
+	key, _ := c.dec.Flow()
+	f := c.flows[key]
+	if f == nil {
+		f = &FlowState{
+			Key:       key,
+			FirstSeen: t,
+			outPort:   -1,
+		}
+		f.Est.MinGap = c.cfg.MinGap
+		f.Est.MaxBurst = c.cfg.MaxBurst
+		if c.cfg.TrackRetransmits {
+			f.Rtx = &RetransmitEstimator{}
+		}
+		c.flows[key] = f
+	}
+	f.LastSeen = t
+	f.SampledPackets++
+	f.SampledBytes += int64(c.dec.WireLen)
+
+	if f.DstMAC != c.dec.Eth.Dst || f.outPort < 0 {
+		f.DstMAC = c.dec.Eth.Dst
+		c.remapFlow(f)
+	}
+
+	if len(c.boundary) > 0 {
+		flags := c.dec.TCP.Flags
+		if flags&packet.TCPSyn != 0 && flags&packet.TCPAck == 0 {
+			for _, fn := range c.boundary {
+				fn(t, key, FlowStart)
+			}
+		} else if flags&(packet.TCPFin|packet.TCPRst) != 0 {
+			for _, fn := range c.boundary {
+				fn(t, key, FlowEnd)
+			}
+		}
+	}
+
+	// Sequence-based estimation uses the left edge of the segment's
+	// payload; pure ACKs advance nothing and naturally estimate ~0.
+	oooBefore := f.Est.OOO
+	updated := f.Est.Observe(t, c.dec.TCP.Seq)
+	if f.Rtx != nil {
+		f.Rtx.Observe(t, c.dec.PayloadLen, f.Est.OOO > oooBefore, f.Est.StreamBytes())
+	}
+	if updated {
+		c.stats.RateUpdates++
+		c.checkCongestion(t, f)
+	}
+	return nil
+}
+
+// ingestUDP estimates UDP flow throughput from an application-level
+// packet counter embedded in the payload (§3.2.2's generalization).
+func (c *Collector) ingestUDP(t units.Time, frame []byte) {
+	off := packet.EthernetHeaderLen + c.dec.IP.HeaderLen() + packet.UDPHeaderLen + c.cfg.UDPSeqOffset
+	if off+4 > len(frame) {
+		return
+	}
+	seq := uint32(frame[off])<<24 | uint32(frame[off+1])<<16 |
+		uint32(frame[off+2])<<8 | uint32(frame[off+3])
+	key, ok := c.dec.Flow()
+	if !ok {
+		return
+	}
+	f := c.flows[key]
+	if f == nil {
+		f = &FlowState{Key: key, FirstSeen: t, outPort: -1, Pkt: NewPacketSeqEstimator()}
+		f.Pkt.Est.MinGap = c.cfg.MinGap
+		f.Pkt.Est.MaxBurst = c.cfg.MaxBurst
+		c.flows[key] = f
+	}
+	if f.Pkt == nil {
+		f.Pkt = NewPacketSeqEstimator()
+	}
+	f.LastSeen = t
+	f.SampledPackets++
+	f.SampledBytes += int64(c.dec.WireLen)
+	if f.DstMAC != c.dec.Eth.Dst || f.outPort < 0 {
+		f.DstMAC = c.dec.Eth.Dst
+		c.remapFlow(f)
+	}
+	if f.Pkt.Observe(t, seq, c.dec.WireLen) {
+		c.stats.RateUpdates++
+		c.checkCongestion(t, f)
+	}
+}
+
+// remapFlow re-resolves the flow's egress port after a label change.
+func (c *Collector) remapFlow(f *FlowState) {
+	newPort := -1
+	if c.mapper != nil {
+		if p, ok := c.mapper.OutputPort(f.DstMAC); ok {
+			newPort = p
+		} else {
+			c.stats.UnmappedOutput++
+		}
+	}
+	if newPort == f.outPort {
+		return
+	}
+	if f.outPort >= 0 && f.outPort < len(c.portFlows) {
+		c.portFlows[f.outPort] = removeFlow(c.portFlows[f.outPort], f)
+	}
+	f.outPort = newPort
+	if newPort >= 0 && newPort < len(c.portFlows) {
+		c.portFlows[newPort] = append(c.portFlows[newPort], f)
+	}
+}
+
+func removeFlow(s []*FlowState, f *FlowState) []*FlowState {
+	for i, x := range s {
+		if x == f {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// checkCongestion recomputes the utilization of f's egress link and emits
+// an event if it crossed the threshold and the link is out of cooldown.
+func (c *Collector) checkCongestion(t units.Time, f *FlowState) {
+	p := f.outPort
+	if p < 0 || p >= len(c.portFlows) || len(c.subs) == 0 {
+		return
+	}
+	util := c.LinkUtilization(p)
+	if float64(util) < c.cfg.UtilThreshold*float64(c.cfg.LinkRate) {
+		return
+	}
+	if t.Sub(c.lastEvent[p]) < c.cfg.EventCooldown {
+		return
+	}
+	c.lastEvent[p] = t
+	ev := CongestionEvent{
+		Time:       t,
+		SwitchName: c.cfg.SwitchName,
+		Port:       p,
+		Util:       util,
+		Capacity:   c.cfg.LinkRate,
+		Flows:      c.FlowsOnPort(p),
+	}
+	c.stats.EventsEmitted++
+	for _, fn := range c.subs {
+		fn(ev)
+	}
+}
+
+// LinkUtilization sums the fresh flow-rate estimates mapped to egress
+// port p (§3.2.2: "the controller sums the throughput of all flows
+// traversing a given link").
+func (c *Collector) LinkUtilization(p int) units.Rate {
+	if p < 0 || p >= len(c.portFlows) {
+		return 0
+	}
+	var util units.Rate
+	for _, f := range c.portFlows[p] {
+		if c.now.Sub(f.LastSeen) > c.cfg.FlowFreshness {
+			continue
+		}
+		if r, ok := f.Rate(); ok {
+			util += r
+		}
+	}
+	return util
+}
+
+// FlowsOnPort snapshots the fresh flows mapped to egress port p.
+func (c *Collector) FlowsOnPort(p int) []FlowInfo {
+	if p < 0 || p >= len(c.portFlows) {
+		return nil
+	}
+	out := make([]FlowInfo, 0, len(c.portFlows[p]))
+	for _, f := range c.portFlows[p] {
+		if c.now.Sub(f.LastSeen) > c.cfg.FlowFreshness {
+			continue
+		}
+		r, _ := f.Rate()
+		out = append(out, FlowInfo{Key: f.Key, DstMAC: f.DstMAC, Rate: r, OutPort: p})
+	}
+	return out
+}
+
+// FlowRate answers the per-flow query API.
+func (c *Collector) FlowRate(k packet.FlowKey) (units.Rate, bool) {
+	f := c.flows[k]
+	if f == nil {
+		return 0, false
+	}
+	return f.Rate()
+}
+
+// Flow returns the full flow record for k, or nil.
+func (c *Collector) Flow(k packet.FlowKey) *FlowState { return c.flows[k] }
+
+// Flows iterates over all flow records.
+func (c *Collector) Flows(fn func(f *FlowState)) {
+	for _, f := range c.flows {
+		fn(f)
+	}
+}
+
+// ExpireFlows drops flow records idle longer than idle, returning how
+// many were removed. Call periodically from the hosting process.
+func (c *Collector) ExpireFlows(now units.Time, idle units.Duration) int {
+	n := 0
+	for k, f := range c.flows {
+		if now.Sub(f.LastSeen) > idle {
+			if f.outPort >= 0 && f.outPort < len(c.portFlows) {
+				c.portFlows[f.outPort] = removeFlow(c.portFlows[f.outPort], f)
+			}
+			delete(c.flows, k)
+			n++
+		}
+	}
+	return n
+}
+
+// DumpPcap writes the vantage-point ring to w as a pcap file (§6.1).
+func (c *Collector) DumpPcap(w io.Writer) error {
+	if c.ring == nil {
+		return fmt.Errorf("core: collector %q has no sample ring", c.cfg.SwitchName)
+	}
+	return c.ring.WritePcap(w)
+}
+
+// Ring exposes the vantage-point buffer (nil when disabled).
+func (c *Collector) RingBuffer() *Ring { return c.ring }

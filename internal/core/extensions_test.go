@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// TestRetransmitEstimatorRecoversRate: a 9.5 Gbps stream with 2% of
+// segments retransmitted, sampled 1-in-8 — the estimator must recover
+// the ~190 Mbps retransmission rate despite the unknown sampling.
+func TestRetransmitEstimatorRecoversRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	re := &RetransmitEstimator{}
+	base := NewRateEstimator()
+
+	interval := units.Duration(1230) // 9.5 Gbps of 1460B payloads
+	var tm units.Time
+	var seq uint32
+	var sentRtxBytes, totalTime int64
+	const n = 400000
+	for i := 0; i < n; i++ {
+		isRtx := rng.Float64() < 0.02
+		s := seq
+		if isRtx {
+			// Resend an earlier segment.
+			s = seq - 1460*uint32(1+rng.Intn(16))
+			sentRtxBytes += 1460
+		} else {
+			seq += 1460
+		}
+		// 1-in-8 sampling.
+		if rng.Intn(8) == 0 {
+			before := base.OOO
+			base.Observe(tm, s)
+			re.Observe(tm, 1460, base.OOO > before, base.StreamBytes())
+		}
+		tm = tm.Add(interval)
+	}
+	totalTime = int64(tm)
+
+	p, ok := re.SamplingProbability()
+	if !ok {
+		t.Fatal("no sampling estimate")
+	}
+	if p < 0.10 || p > 0.15 {
+		t.Fatalf("sampling probability %.3f, want ≈0.125", p)
+	}
+	got, ok := re.Rate()
+	if !ok {
+		t.Fatal("no rtx rate")
+	}
+	want := units.Rate(float64(sentRtxBytes) * 8 / (float64(totalTime) / 1e9))
+	ratio := float64(got) / float64(want)
+	// The estimate is a lower bound: at 1-in-8 sampling, retransmissions
+	// closer to the head than the ~8-packet sampling lag are invisible
+	// (see the RetransmitEstimator doc). With rtx distances of 1–16
+	// packets roughly half are detectable.
+	if ratio < 0.35 || ratio > 1.2 {
+		t.Fatalf("rtx rate %v vs true %v (ratio %.2f)", got, want, ratio)
+	}
+}
+
+func TestRetransmitEstimatorZeroWhenClean(t *testing.T) {
+	re := &RetransmitEstimator{}
+	base := NewRateEstimator()
+	var tm units.Time
+	var seq uint32
+	for i := 0; i < 10000; i++ {
+		before := base.OOO
+		base.Observe(tm, seq)
+		re.Observe(tm, 1460, base.OOO > before, base.StreamBytes())
+		seq += 1460
+		tm = tm.Add(units.Duration(1230))
+	}
+	got, ok := re.Rate()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if got != 0 {
+		t.Fatalf("clean stream rtx rate %v", got)
+	}
+}
+
+// TestPacketSeqEstimator: packet-counter sequence numbers scaled by mean
+// size recover the byte rate (§3.2.2's non-TCP generalization).
+func TestPacketSeqEstimator(t *testing.T) {
+	e := NewPacketSeqEstimator()
+	// 1 Gbps of 1000-byte payload datagrams (1042B wire), one counter
+	// increment per packet.
+	interval := units.Rate(1 * units.Gbps).Serialize(1042)
+	var tm units.Time
+	for i := uint32(0); i < 20000; i++ {
+		e.Observe(tm, i, 1042)
+		tm = tm.Add(interval)
+	}
+	r, _, ok := e.Rate()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// True wire rate: 1042B per interval.
+	want := units.RateOf(1042, interval)
+	if math.Abs(float64(r-want))/float64(want) > 0.05 {
+		t.Fatalf("rate %v want %v", r, want)
+	}
+	if ms := e.MeanPacketSize(); ms != 1042 {
+		t.Fatalf("mean size %v", ms)
+	}
+}
+
+// TestCollectorUDPSeqFlow runs the UDP path end to end through Ingest.
+func TestCollectorUDPSeqFlow(t *testing.T) {
+	c := New(Config{
+		SwitchName:    "sw0",
+		NumPorts:      4,
+		LinkRate:      units.Rate10G,
+		UDPSeqEnabled: true,
+	})
+	c.SetPortMapper(staticMapper{macB.U64(): 2})
+	interval := units.Rate(2 * units.Gbps).Serialize(1042)
+	var tm units.Time
+	for i := uint32(0); i < 8000; i++ {
+		frame := packet.BuildUDP(nil, packet.UDPSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+			SrcPort: 9000, DstPort: 9001, PayloadLen: 1000,
+			Seq: i, HasSeq: true,
+		})
+		if err := c.Ingest(tm, frame); err != nil {
+			t.Fatal(err)
+		}
+		tm = tm.Add(interval)
+	}
+	key := packet.FlowKey{SrcIP: ipA, DstIP: ipB, SrcPort: 9000, DstPort: 9001, Proto: packet.IPProtocolUDP}
+	r, ok := c.FlowRate(key)
+	if !ok {
+		t.Fatal("UDP flow not estimated")
+	}
+	if g := r.Gigabits(); g < 1.7 || g > 2.3 {
+		t.Fatalf("UDP rate %.2f Gbps, want ≈2", g)
+	}
+	// The flow participates in utilization like any other.
+	if c.LinkUtilization(2) != r {
+		t.Fatalf("util %v != %v", c.LinkUtilization(2), r)
+	}
+}
+
+// TestCollectorRetransmitTracking exercises TrackRetransmits through
+// Ingest with synthetic duplicates.
+func TestCollectorRetransmitTracking(t *testing.T) {
+	c := New(Config{
+		SwitchName: "sw0", NumPorts: 4, LinkRate: units.Rate10G,
+		TrackRetransmits: true,
+	})
+	c.SetPortMapper(staticMapper{macB.U64(): 2})
+	var tm units.Time
+	var seq uint32
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		s := seq
+		if rng.Float64() < 0.05 {
+			s = seq - 1460*4
+		} else {
+			seq += 1460
+		}
+		c.Ingest(tm, tcpFrame(s, 1460))
+		tm = tm.Add(units.Duration(1230))
+	}
+	key := packet.FlowKey{SrcIP: ipA, DstIP: ipB, SrcPort: 1000, DstPort: 2000, Proto: packet.IPProtocolTCP}
+	f := c.Flow(key)
+	if f == nil {
+		t.Fatal("flow missing")
+	}
+	rr, ok := f.RetransmitRate()
+	if !ok {
+		t.Fatal("no rtx estimate")
+	}
+	// ~5% of a 9.5 Gbps stream ≈ 0.45 Gbps.
+	if g := rr.Gigabits(); g < 0.2 || g > 0.9 {
+		t.Fatalf("rtx rate %.2f Gbps", g)
+	}
+}
+
+// TestFlowBoundaryEvents: SYN and FIN samples surface as start/end
+// events with the right keys (§9.2's flow-boundary visibility).
+func TestFlowBoundaryEvents(t *testing.T) {
+	c := newTestCollector()
+	type ev struct {
+		kind BoundaryKind
+		at   units.Time
+	}
+	var events []ev
+	c.SubscribeFlowBoundaries(func(at units.Time, key packet.FlowKey, kind BoundaryKind) {
+		if key.SrcPort != 1000 {
+			t.Fatalf("key %v", key)
+		}
+		events = append(events, ev{kind, at})
+	})
+
+	mk := func(seq uint32, flags uint8, payload int) []byte {
+		return packet.BuildTCP(nil, packet.TCPSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+			SrcPort: 1000, DstPort: 2000, Seq: seq, Flags: flags, PayloadLen: payload,
+		})
+	}
+	c.Ingest(0, mk(100, packet.TCPSyn, 0))                       // start
+	c.Ingest(1000, mk(101, packet.TCPAck, 1460))                 // data
+	c.Ingest(2000, mk(101+1460, packet.TCPAck, 1460))            // data
+	c.Ingest(3000, mk(101+2920, packet.TCPFin|packet.TCPAck, 0)) // end
+	c.Ingest(4000, mk(101+2921, packet.TCPRst|packet.TCPAck, 0)) // end (RST)
+
+	if len(events) != 3 {
+		t.Fatalf("%d boundary events", len(events))
+	}
+	if events[0].kind != FlowStart || events[0].at != 0 {
+		t.Fatalf("first %+v", events[0])
+	}
+	if events[1].kind != FlowEnd || events[2].kind != FlowEnd {
+		t.Fatalf("ends %+v", events[1:])
+	}
+	// SYN-ACKs are not starts.
+	var extra int
+	c.SubscribeFlowBoundaries(func(units.Time, packet.FlowKey, BoundaryKind) { extra++ })
+	c.Ingest(5000, mk(200, packet.TCPSyn|packet.TCPAck, 0))
+	if extra != 0 {
+		t.Fatal("SYN-ACK counted as a boundary")
+	}
+}

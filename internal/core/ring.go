@@ -1,0 +1,90 @@
+package core
+
+import (
+	"io"
+
+	"planck/internal/pcap"
+	"planck/internal/units"
+)
+
+// Ring is the vantage-point monitor's sample buffer (§6.1): it retains
+// the most recent N sampled frames from a switch and writes them out as a
+// tcpdump-compatible pcap file on demand. Storage is a single flat byte
+// arena reused across wraps, so steady-state capture does not allocate.
+type Ring struct {
+	cap     int
+	slots   []ringSlot
+	arena   []byte
+	slotLen int
+	next    int64 // monotone push counter
+}
+
+type ringSlot struct {
+	t       units.Time
+	wireLen int
+	dataLen int
+}
+
+// MaxSnap is the per-packet capture limit of the ring.
+const MaxSnap = 2048
+
+// NewRing returns a ring holding up to n packets.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1
+	}
+	return &Ring{
+		cap:     n,
+		slots:   make([]ringSlot, n),
+		arena:   make([]byte, n*MaxSnap),
+		slotLen: MaxSnap,
+	}
+}
+
+// Push stores a sample, truncating to MaxSnap bytes.
+func (r *Ring) Push(t units.Time, frame []byte) {
+	i := int(r.next % int64(r.cap))
+	dst := r.arena[i*r.slotLen : (i+1)*r.slotLen]
+	n := copy(dst, frame)
+	r.slots[i] = ringSlot{t: t, wireLen: len(frame), dataLen: n}
+	r.next++
+}
+
+// Len returns the number of retained samples.
+func (r *Ring) Len() int {
+	if r.next < int64(r.cap) {
+		return int(r.next)
+	}
+	return r.cap
+}
+
+// Each visits retained samples oldest-first. The frame slice is only
+// valid during the callback.
+func (r *Ring) Each(fn func(t units.Time, wireLen int, frame []byte) error) error {
+	n := r.Len()
+	start := r.next - int64(n)
+	for k := int64(0); k < int64(n); k++ {
+		i := int((start + k) % int64(r.cap))
+		s := r.slots[i]
+		frame := r.arena[i*r.slotLen : i*r.slotLen+s.dataLen]
+		if err := fn(s.t, s.wireLen, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePcap dumps the ring oldest-first as a nanosecond-resolution pcap.
+func (r *Ring) WritePcap(w io.Writer) error {
+	pw, err := pcap.NewWriter(w, pcap.WithNanosecondResolution(), pcap.WithSnapLen(MaxSnap))
+	if err != nil {
+		return err
+	}
+	err = r.Each(func(t units.Time, wireLen int, frame []byte) error {
+		return pw.WriteRecord(pcap.Record{Time: t, WireLen: wireLen, Data: frame})
+	})
+	if err != nil {
+		return err
+	}
+	return pw.Flush()
+}

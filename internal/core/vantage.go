@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// Vantage-point trace analysis — the §6.1 future-work item: "provide
+// options to infer missed packets for TCP to provide more complete
+// traces". A sampled trace has holes wherever the oversubscribed mirror
+// dropped copies; for TCP the sequence numbers say exactly how many bytes
+// each hole hides, so the analysis reconstructs per-flow completeness
+// without any knowledge of the sampling rate.
+
+// FlowTraceReport summarizes one flow's coverage in a sampled trace.
+type FlowTraceReport struct {
+	Key packet.FlowKey
+
+	First, Last units.Time
+
+	// SampledPackets and SampledPayload are what the trace contains.
+	SampledPackets int64
+	SampledPayload int64
+
+	// StreamPayload is the payload span the sequence numbers prove the
+	// flow transferred between the first and last sample.
+	StreamPayload int64
+
+	// MissedPayload = StreamPayload - SampledPayload: bytes the mirror
+	// dropped between samples.
+	MissedPayload int64
+
+	// Gaps counts maximal runs of missing payload (adjacent-sample holes).
+	Gaps int64
+	// LargestGap is the biggest single hole in bytes.
+	LargestGap int64
+}
+
+// Completeness returns the fraction of stream payload present in the
+// trace (1 for a full capture).
+func (r *FlowTraceReport) Completeness() float64 {
+	if r.StreamPayload <= 0 {
+		return 1
+	}
+	c := float64(r.SampledPayload) / float64(r.StreamPayload)
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// traceScan is the per-flow state of an AnalyzeTrace pass.
+type traceScan struct {
+	rep     FlowTraceReport
+	started bool
+	lastOff int64 // stream offset past the last sampled payload byte
+	baseSeq uint32
+}
+
+// TraceAnalyzer reconstructs per-flow coverage from a sampled frame
+// stream (typically a vantage ring or a replayed pcap).
+type TraceAnalyzer struct {
+	dec   packet.Decoded
+	flows map[packet.FlowKey]*traceScan
+}
+
+// NewTraceAnalyzer creates an analyzer.
+func NewTraceAnalyzer() *TraceAnalyzer {
+	return &TraceAnalyzer{flows: make(map[packet.FlowKey]*traceScan)}
+}
+
+// Observe folds in one captured frame.
+func (a *TraceAnalyzer) Observe(t units.Time, frame []byte) {
+	if err := a.dec.Decode(frame); err != nil || !a.dec.Has(packet.LayerTCP) {
+		return
+	}
+	if a.dec.PayloadLen == 0 {
+		return // pure ACKs carry no stream bytes
+	}
+	key, _ := a.dec.Flow()
+	s := a.flows[key]
+	if s == nil {
+		s = &traceScan{}
+		s.rep.Key = key
+		a.flows[key] = s
+	}
+	r := &s.rep
+	r.SampledPackets++
+	r.SampledPayload += int64(a.dec.PayloadLen)
+	r.Last = t
+
+	seq := a.dec.TCP.Seq
+	if !s.started {
+		s.started = true
+		s.baseSeq = seq
+		s.lastOff = int64(a.dec.PayloadLen)
+		r.First = t
+		r.StreamPayload = int64(a.dec.PayloadLen)
+		return
+	}
+	off := s.lastOff + int64(int32(seq-(s.baseSeq+uint32(uint64(s.lastOff)))))
+	if off < s.lastOff {
+		// Regression: retransmission or reordering; its payload was
+		// already accounted (or is a duplicate) — don't extend the stream.
+		return
+	}
+	if gap := off - s.lastOff; gap > 0 {
+		r.Gaps++
+		r.MissedPayload += gap
+		if gap > r.LargestGap {
+			r.LargestGap = gap
+		}
+	}
+	s.lastOff = off + int64(a.dec.PayloadLen)
+	r.StreamPayload = s.lastOff
+}
+
+// Reports returns the per-flow reports sorted by missed payload,
+// largest first.
+func (a *TraceAnalyzer) Reports() []FlowTraceReport {
+	out := make([]FlowTraceReport, 0, len(a.flows))
+	for _, s := range a.flows {
+		out = append(out, s.rep)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MissedPayload != out[j].MissedPayload {
+			return out[i].MissedPayload > out[j].MissedPayload
+		}
+		return out[i].Key.String() < out[j].Key.String()
+	})
+	return out
+}
+
+// AnalyzeRing runs gap inference over a collector's vantage ring.
+func AnalyzeRing(r *Ring) ([]FlowTraceReport, error) {
+	if r == nil {
+		return nil, fmt.Errorf("core: no ring to analyze")
+	}
+	a := NewTraceAnalyzer()
+	err := r.Each(func(t units.Time, _ int, frame []byte) error {
+		a.Observe(t, frame)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a.Reports(), nil
+}
+
+// FormatReports renders the analysis for humans.
+func FormatReports(reports []FlowTraceReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-45s %9s %12s %12s %6s %9s\n",
+		"flow", "samples", "sampled", "inferred", "gaps", "complete")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-45s %9d %12s %12s %6d %8.1f%%\n",
+			r.Key.String(), r.SampledPackets,
+			units.BytesString(r.SampledPayload), units.BytesString(r.StreamPayload),
+			r.Gaps, r.Completeness()*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"planck/internal/units"
+)
+
+// TestTraceAnalyzerFullCapture: a complete capture shows no gaps and
+// 100% completeness.
+func TestTraceAnalyzerFullCapture(t *testing.T) {
+	a := NewTraceAnalyzer()
+	var tm units.Time
+	var seq uint32 = 5000
+	for i := 0; i < 1000; i++ {
+		a.Observe(tm, tcpFrame(seq, 1460))
+		seq += 1460
+		tm = tm.Add(units.Duration(1230))
+	}
+	reps := a.Reports()
+	if len(reps) != 1 {
+		t.Fatalf("%d reports", len(reps))
+	}
+	r := reps[0]
+	if r.Gaps != 0 || r.MissedPayload != 0 {
+		t.Fatalf("gaps %d missed %d on a full capture", r.Gaps, r.MissedPayload)
+	}
+	if r.Completeness() != 1 {
+		t.Fatalf("completeness %.3f", r.Completeness())
+	}
+	if r.StreamPayload != 1000*1460 {
+		t.Fatalf("stream %d", r.StreamPayload)
+	}
+}
+
+// TestTraceAnalyzerInfersDrops: sample 1-in-4 — the analyzer must infer
+// the other three quarters from the sequence numbers.
+func TestTraceAnalyzerInfersDrops(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := NewTraceAnalyzer()
+	var tm units.Time
+	var seq uint32
+	const n = 8000
+	var sampled int64
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			a.Observe(tm, tcpFrame(seq, 1460))
+			sampled++
+		}
+		seq += 1460
+		tm = tm.Add(units.Duration(1230))
+	}
+	reps := a.Reports()
+	if len(reps) != 1 {
+		t.Fatalf("%d reports", len(reps))
+	}
+	r := reps[0]
+	if r.SampledPackets != sampled {
+		t.Fatalf("sampled %d want %d", r.SampledPackets, sampled)
+	}
+	// Completeness ≈ 25%.
+	if c := r.Completeness(); c < 0.20 || c > 0.30 {
+		t.Fatalf("completeness %.3f, want ≈0.25", c)
+	}
+	if r.Gaps == 0 || r.MissedPayload == 0 {
+		t.Fatal("no gaps inferred")
+	}
+	// Missed + sampled = stream.
+	if r.MissedPayload+r.SampledPayload != r.StreamPayload {
+		t.Fatalf("accounting: %d + %d != %d", r.MissedPayload, r.SampledPayload, r.StreamPayload)
+	}
+	if r.LargestGap < 1460 {
+		t.Fatalf("largest gap %d", r.LargestGap)
+	}
+}
+
+// TestTraceAnalyzerIgnoresRetransmits: regressions must not inflate the
+// inferred stream.
+func TestTraceAnalyzerIgnoresRetransmits(t *testing.T) {
+	a := NewTraceAnalyzer()
+	var tm units.Time
+	seqs := []uint32{0, 1460, 2920, 1460 /*rtx*/, 4380}
+	for _, s := range seqs {
+		a.Observe(tm, tcpFrame(s, 1460))
+		tm = tm.Add(units.Duration(1230))
+	}
+	r := a.Reports()[0]
+	if r.StreamPayload != 4380+1460 { // last new segment's end
+		t.Fatalf("stream %d", r.StreamPayload)
+	}
+	if r.Gaps != 0 {
+		t.Fatalf("phantom gaps %d", r.Gaps)
+	}
+}
+
+// TestAnalyzeRingEndToEnd runs gap inference over a collector ring fed
+// through Ingest.
+func TestAnalyzeRingEndToEnd(t *testing.T) {
+	c := New(Config{SwitchName: "sw0", NumPorts: 4, LinkRate: units.Rate10G, RingPackets: 4096})
+	c.SetPortMapper(staticMapper{macB.U64(): 2})
+	rng := rand.New(rand.NewSource(12))
+	var tm units.Time
+	var seq uint32
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(3) == 0 { // 1-in-3 "mirror" sampling
+			c.Ingest(tm, tcpFrame(seq, 1460))
+		}
+		seq += 1460
+		tm = tm.Add(units.Duration(1230))
+	}
+	reps, err := AnalyzeRing(c.RingBuffer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("%d reports", len(reps))
+	}
+	if cpl := reps[0].Completeness(); cpl < 0.25 || cpl > 0.45 {
+		t.Fatalf("completeness %.3f, want ≈0.33", cpl)
+	}
+	out := FormatReports(reps)
+	if !strings.Contains(out, "complete") || !strings.Contains(out, "tcp ") {
+		t.Fatalf("report rendering:\n%s", out)
+	}
+}
+
+func TestAnalyzeRingNil(t *testing.T) {
+	if _, err := AnalyzeRing(nil); err == nil {
+		t.Fatal("nil ring accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Package counters implements the §2.2 baseline: periodically polling
+// per-port byte counters to infer link utilization. Counters say nothing
+// about which flows cross a link, and their accuracy is bounded by the
+// polling interval — a transient burst shorter than the interval is
+// smeared into a low average, which is precisely the measurement gap
+// Planck closes.
+package counters
+
+import (
+	"planck/internal/sim"
+	"planck/internal/units"
+)
+
+// Sample is one polled utilization observation.
+type Sample struct {
+	Time units.Time
+	Port int
+	// TxBytes is the byte delta over the interval.
+	TxBytes int64
+	// Util is the average transmit rate over the interval.
+	Util units.Rate
+}
+
+// PortPoller reads transmit counters from a set of ports at a fixed
+// interval (SNMP/OpenFlow port-stats style).
+type PortPoller struct {
+	ports    []*sim.Port
+	interval units.Duration
+	last     []int64
+	ticker   *sim.Ticker
+
+	// OnSample receives one observation per port per poll.
+	OnSample func(s Sample)
+
+	// Polls counts completed polling rounds.
+	Polls int64
+}
+
+// NewPortPoller starts polling the given ports every interval.
+func NewPortPoller(eng *sim.Engine, ports []*sim.Port, interval units.Duration, onSample func(Sample)) *PortPoller {
+	p := &PortPoller{
+		ports:    ports,
+		interval: interval,
+		last:     make([]int64, len(ports)),
+		OnSample: onSample,
+	}
+	for i, port := range ports {
+		p.last[i] = port.TxBytes
+	}
+	p.ticker = sim.NewTicker(eng, interval, p.poll)
+	return p
+}
+
+// Stop halts polling.
+func (p *PortPoller) Stop() { p.ticker.Stop() }
+
+func (p *PortPoller) poll(now units.Time) {
+	p.Polls++
+	for i, port := range p.ports {
+		delta := port.TxBytes - p.last[i]
+		p.last[i] = port.TxBytes
+		if p.OnSample != nil {
+			p.OnSample(Sample{
+				Time:    now,
+				Port:    i,
+				TxBytes: delta,
+				Util:    units.RateOf(delta, p.interval),
+			})
+		}
+	}
+}

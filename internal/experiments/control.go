@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+
+	"planck/internal/core"
+	"planck/internal/lab"
+	"planck/internal/packet"
+	"planck/internal/sim"
+	"planck/internal/stats"
+	"planck/internal/te"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// Fig15Result captures the full control loop of Figure 15: flow 1 runs
+// steadily, flow 2 joins on a colliding path, Planck detects the
+// congestion and reroutes within milliseconds, and flow 1 never loses a
+// packet because the loop closes faster than the switch buffer fills.
+type Fig15Result struct {
+	// Detection is from flow 2's start to the first congestion event.
+	Detection units.Duration
+	// Response is from the first congestion event to the first sample
+	// carrying the rerouted flow's new routing label.
+	Response units.Duration
+	// Flow1Timeouts and Flow1Retransmits report flow 1's loss response
+	// (paper: zero — the buffer absorbs the transient).
+	Flow1Timeouts    int64
+	Flow1Retransmits int64
+	// Series is both flows' throughput over time in 500 µs buckets.
+	Series []Fig15Point
+}
+
+// Fig15Point is one time bucket.
+type Fig15Point struct {
+	Time  units.Time
+	Flow1 units.Rate
+	Flow2 units.Rate
+}
+
+// Fig15 runs the scenario.
+func Fig15(seed int64) *Fig15Result {
+	l := collidingLab(seed)
+	attachTE(l, te.ActuateARP)
+	res := &Fig15Result{}
+
+	var rerouteTree = -1
+	l.Ctrl.OnReroute = func(now units.Time, _ packet.FlowKey, _, _, tree int, _ bool) {
+		if rerouteTree < 0 {
+			rerouteTree = tree
+		}
+	}
+
+	// A single saturated flow already crosses the utilization threshold,
+	// so collectors notify throughout; detection for Fig. 15 means the
+	// first notification that implicates flow 2.
+	var flow2Key packet.FlowKey
+	var haveFlow2Key bool
+	var firstEvent units.Time
+	l.Ctrl.Subscribe(func(ev core.CongestionEvent) {
+		if firstEvent != 0 || !haveFlow2Key {
+			return
+		}
+		for _, fi := range ev.Flows {
+			if fi.Key == flow2Key {
+				firstEvent = ev.Time
+				return
+			}
+		}
+	})
+
+	var responseAt units.Time
+	for s := range l.Switches {
+		if node := l.Collectors[s]; node != nil {
+			node.OnSample = func(at units.Time, pkt *sim.Packet) {
+				if responseAt != 0 || pkt.Kind != sim.KindTCP {
+					return
+				}
+				if _, tree, ok := topo.TreeOfMAC(pkt.DstMAC); ok && tree != 0 && tree == rerouteTree {
+					responseAt = at
+				}
+			}
+		}
+	}
+
+	c1, err := l.Hosts[0].StartFlow(0, topo.HostIP(8), 5001, 1<<40, 1)
+	if err != nil {
+		panic(err)
+	}
+	l.Run(50 * units.Millisecond) // flow 1 reaches steady state
+
+	flow2Start := l.Eng.Now()
+	c2, err := l.Hosts[4].StartFlow(flow2Start, topo.HostIP(9), 5002, 1<<40, 2)
+	if err != nil {
+		panic(err)
+	}
+	flow2Key = c2.FlowKey()
+	haveFlow2Key = true
+
+	// 500 µs throughput series around the event.
+	var last1, last2 int64 = c1.BytesAcked(), c2.BytesAcked()
+	bucket := 500 * units.Microsecond
+	sim.NewTicker(l.Eng, bucket, func(now units.Time) {
+		d1, d2 := c1.BytesAcked()-last1, c2.BytesAcked()-last2
+		last1, last2 = c1.BytesAcked(), c2.BytesAcked()
+		res.Series = append(res.Series, Fig15Point{
+			Time:  now,
+			Flow1: units.RateOf(d1, bucket),
+			Flow2: units.RateOf(d2, bucket),
+		})
+	})
+	preTimeouts := c1.Timeouts
+	preRtx := c1.Retransmits
+	l.Eng.RunUntil(flow2Start.Add(units.Duration(40 * units.Millisecond)))
+
+	if firstEvent > flow2Start {
+		res.Detection = firstEvent.Sub(flow2Start)
+	}
+	if responseAt > firstEvent && firstEvent > 0 {
+		res.Response = responseAt.Sub(firstEvent)
+	}
+	res.Flow1Timeouts = c1.Timeouts - preTimeouts
+	res.Flow1Retransmits = c1.Retransmits - preRtx
+	return res
+}
+
+// collidingLab builds the fat-tree with all destinations pinned to tree 0
+// so the Fig. 15/16 flow pairs are guaranteed to collide.
+func collidingLab(seed int64) *lab.Lab {
+	net := topo.FatTree16(units.Rate10G)
+	l, err := lab.New(lab.Options{
+		Net:          net,
+		Mirror:       true,
+		Seed:         seed,
+		InitialTrees: make([]int, 16),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Table renders the Fig. 15 summary.
+func (r *Fig15Result) Table() *Table {
+	t := &Table{
+		Title:   "Figure 15: congestion detection and reroute timeline",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("detection latency", r.Detection.String())
+	t.AddRow("response latency (detect -> new path seen)", r.Response.String())
+	t.AddRow("flow 1 timeouts during episode", fmt.Sprintf("%d", r.Flow1Timeouts))
+	t.AddRow("flow 1 retransmits during episode", fmt.Sprintf("%d", r.Flow1Retransmits))
+	return t
+}
+
+// Fig16Params configures the response-latency CDF measurement.
+type Fig16Params struct {
+	Episodes int // independent collision episodes per actuator
+	Seed     int64
+}
+
+// Fig16Result holds response-latency samples (ms) per actuator.
+type Fig16Result struct {
+	ARP      *stats.Sample
+	OpenFlow *stats.Sample
+}
+
+// Fig16 reproduces Figure 16: the CDF of routing response latency —
+// congestion notification to the first sample carrying the new label —
+// for ARP-based (paper: 2.5–3.5 ms) and OpenFlow-based (4–9 ms) control.
+func Fig16(p Fig16Params) *Fig16Result {
+	if p.Episodes == 0 {
+		p.Episodes = 15
+	}
+	res := &Fig16Result{ARP: &stats.Sample{}, OpenFlow: &stats.Sample{}}
+	for _, act := range []te.Actuator{te.ActuateARP, te.ActuateOpenFlow} {
+		for ep := 0; ep < p.Episodes; ep++ {
+			if ms, ok := fig16Episode(act, p.Seed+int64(ep)*37); ok {
+				if act == te.ActuateARP {
+					res.ARP.Add(ms)
+				} else {
+					res.OpenFlow.Add(ms)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// fig16Episode runs one collision and measures notification-to-new-label
+// latency at the collectors.
+func fig16Episode(act te.Actuator, seed int64) (float64, bool) {
+	l := collidingLab(seed)
+	attachTE(l, act)
+
+	var decidedAt units.Time
+	var newTree = -1
+	l.Ctrl.OnReroute = func(now units.Time, _ packet.FlowKey, _, _, tree int, _ bool) {
+		if decidedAt == 0 {
+			decidedAt = now
+			newTree = tree
+		}
+	}
+	var seenAt units.Time
+	for s := range l.Switches {
+		if node := l.Collectors[s]; node != nil {
+			node.OnSample = func(at units.Time, pkt *sim.Packet) {
+				if seenAt != 0 || decidedAt == 0 || pkt.Kind != sim.KindTCP {
+					return
+				}
+				if _, tree, ok := topo.TreeOfMAC(pkt.DstMAC); ok && tree == newTree && tree != 0 {
+					seenAt = at
+				}
+			}
+		}
+	}
+
+	if _, err := l.Hosts[0].StartFlow(0, topo.HostIP(8), 5001, 1<<40, 1); err != nil {
+		panic(err)
+	}
+	l.Run(30 * units.Millisecond)
+	if _, err := l.Hosts[4].StartFlow(l.Eng.Now(), topo.HostIP(9), 5002, 1<<40, 2); err != nil {
+		panic(err)
+	}
+	l.Run(units.Duration(l.Eng.Now()) + 50*units.Millisecond)
+	if decidedAt == 0 || seenAt == 0 {
+		return 0, false
+	}
+	return seenAt.Sub(decidedAt).Milliseconds(), true
+}
+
+// Table renders the Fig. 16 CDF summary.
+func (r *Fig16Result) Table() *Table {
+	t := &Table{
+		Title:   "Figure 16: routing response latency (ms)",
+		Columns: []string{"mechanism", "episodes", "p10", "median", "p90"},
+	}
+	row := func(name string, s *stats.Sample) {
+		t.AddRow(name, fmt.Sprintf("%d", s.N()),
+			fmt.Sprintf("%.2f", s.Quantile(0.10)),
+			fmt.Sprintf("%.2f", s.Median()),
+			fmt.Sprintf("%.2f", s.Quantile(0.90)))
+	}
+	row("ARP", r.ARP)
+	row("OpenFlow", r.OpenFlow)
+	return t
+}

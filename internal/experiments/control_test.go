@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"testing"
+
+	"planck/internal/stats"
+	"planck/internal/units"
+)
+
+func TestFig10EstimatorContrast(t *testing.T) {
+	series := Fig10(Fig10Params{Seed: 31})
+	if len(series) < 30 {
+		t.Fatalf("%d points", len(series))
+	}
+	tab := Fig10Table(series)
+	// Analyze the slow-start portion (after connection setup, before the
+	// ramp completes): the rolling average must be visibly jumpier than
+	// the burst estimator.
+	roll := &stats.Sample{}
+	planck := &stats.Sample{}
+	for _, pt := range series {
+		if pt.Time < units.Time(200*units.Microsecond) || pt.Time > units.Time(1500*units.Microsecond) {
+			continue
+		}
+		roll.Add(pt.Rolling.Gigabits())
+		planck.Add(pt.Planck.Gigabits())
+	}
+	if roll.N() < 10 {
+		t.Fatalf("only %d slow-start points", roll.N())
+	}
+	// Fig 10a: the rolling window oscillates hard (bursts vs gaps).
+	if roll.Min() > 0.5*roll.Max() {
+		t.Fatalf("rolling average too smooth: min %.2f max %.2f", roll.Min(), roll.Max())
+	}
+	// Fig 10b: Planck's estimate ramps without the wild swings.
+	if planck.Stddev()*1.5 > roll.Stddev() {
+		t.Fatalf("planck stddev %.2f not clearly smoother than rolling %.2f",
+			planck.Stddev(), roll.Stddev())
+	}
+	if planck.Max() > 11 {
+		t.Fatalf("planck estimate spiked to %.2f", planck.Max())
+	}
+	t.Logf("roll [%.2f,%.2f] sd=%.2f; planck [%.2f,%.2f] sd=%.2f",
+		roll.Min(), roll.Max(), roll.Stddev(), planck.Min(), planck.Max(), planck.Stddev())
+	t.Logf("\n%s", tab.Render())
+}
+
+func TestFig11ErrorSmall(t *testing.T) {
+	pts := Fig11(Fig11Params{Factors: []int{2, 8}, Seed: 33})
+	for _, p := range pts {
+		// Paper: ≈3% flat. Accept anything below 10% with no blow-up at
+		// higher oversubscription.
+		if p.MeanError > 0.10 {
+			t.Fatalf("factor %.1f: error %.1f%%", p.Factor, p.MeanError*100)
+		}
+	}
+	if pts[1].MeanError > pts[0].MeanError*3+0.02 {
+		t.Fatalf("error grows with oversubscription: %v", pts)
+	}
+	t.Logf("\n%s", Fig11Table(pts).Render())
+}
+
+func TestFig15ControlLoop(t *testing.T) {
+	r := Fig15(35)
+	// Paper: detection 25–240 µs after congestion onset; response ≈2.6 ms.
+	if r.Detection <= 0 || r.Detection > 3*units.Millisecond {
+		t.Fatalf("detection %v", r.Detection)
+	}
+	if r.Response < units.Millisecond || r.Response > 6*units.Millisecond {
+		t.Fatalf("response %v, want ≈2.6ms", r.Response)
+	}
+	// Flow 1 must see no timeout (the loop beats the buffer).
+	if r.Flow1Timeouts != 0 {
+		t.Fatalf("flow 1 timeouts %d", r.Flow1Timeouts)
+	}
+	if len(r.Series) == 0 {
+		t.Fatal("no throughput series")
+	}
+	t.Logf("\n%s", r.Table().Render())
+}
+
+func TestFig16ResponseCDFs(t *testing.T) {
+	r := Fig16(Fig16Params{Episodes: 8, Seed: 41})
+	if r.ARP.N() < 4 || r.OpenFlow.N() < 4 {
+		t.Fatalf("episodes: ARP %d, OF %d", r.ARP.N(), r.OpenFlow.N())
+	}
+	// Paper: ARP 2.5–3.5 ms; OpenFlow 4–9 ms with median over 7 ms.
+	if med := r.ARP.Median(); med < 2.0 || med > 4.2 {
+		t.Fatalf("ARP median %.2f ms", med)
+	}
+	if med := r.OpenFlow.Median(); med < 4.0 || med > 9.5 {
+		t.Fatalf("OpenFlow median %.2f ms", med)
+	}
+	if r.OpenFlow.Median() < r.ARP.Median() {
+		t.Fatal("OpenFlow should be slower than ARP")
+	}
+	t.Logf("\n%s", r.Table().Render())
+}
+
+func TestScalabilityTable(t *testing.T) {
+	tab := Scalability()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "59582" || tab.Rows[0][3] != "344" {
+		t.Fatalf("fat-tree row %v", tab.Rows[0])
+	}
+	if tab.Rows[1][2] != "3505" {
+		t.Fatalf("jellyfish row %v", tab.Rows[1])
+	}
+	t.Logf("\n%s", tab.Render())
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"planck/internal/sim"
+	"planck/internal/topo"
+	"planck/internal/units"
+	"planck/internal/workload"
+)
+
+func TestDebugStrideTE(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic only")
+	}
+	l, cleanup, err := SchemeLab(SchemePlanckTE, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	// SchemeLab already attached the TE app; attach a read-only second
+	// view? No — instead reconstruct by hand to hold a reference.
+	flows := workload.Stride(16, 8, 50<<20)
+	done := 0
+	var lastReroutes int64
+	sim.NewTicker(l.Eng, units.Duration(10*units.Millisecond), func(now units.Time) {
+		var acked int64
+		for _, h := range l.Hosts {
+			for _, c := range h.Conns() {
+				if c.FlowSize() > 0 {
+					acked += c.BytesAcked()
+				}
+			}
+		}
+		t.Logf("t=%v total-acked=%dMiB arp=%d(+%d) done=%d",
+			now, acked>>20, l.Ctrl.ARPReroutes, l.Ctrl.ARPReroutes-lastReroutes, done)
+		lastReroutes = l.Ctrl.ARPReroutes
+	})
+	// At 100ms, dump the placement: flows per link.
+	l.Eng.Schedule(units.Time(100*units.Millisecond), sim.Callback(func(now units.Time) {
+		linkFlows := map[topo.LinkID][]int{}
+		for i, f := range flows {
+			mac, _ := l.Hosts[f.Src].LookupNeighbor(topo.HostIP(f.Dst))
+			_, tree, ok := topo.TreeOfMAC(mac)
+			if !ok {
+				continue
+			}
+			for _, lk := range l.Net.PathFor(f.Src, f.Dst, tree) {
+				linkFlows[lk] = append(linkFlows[lk], i)
+			}
+		}
+		for lk, fl := range linkFlows {
+			if len(fl) > 1 {
+				t.Logf("SHARED link %v (%s): flows %v", lk, l.Net.SwitchNames[lk.Switch], fl)
+			}
+		}
+		// Per-flow cwnd/rate snapshot.
+		for i, f := range flows {
+			for _, c := range l.Hosts[f.Src].Conns() {
+				if c.FlowSize() > 0 {
+					t.Logf("flow %d (h%d->h%d): acked=%dMiB cwnd=%.0fKB srtt=%v rtx=%d to=%d",
+						i, f.Src, f.Dst, c.BytesAcked()>>20, c.Cwnd()/1e3, c.SRTT(), c.Retransmits, c.Timeouts)
+				}
+			}
+		}
+	}), nil)
+	res, err := workload.Run(l, flows, workload.RunConfig{Timeout: 3 * units.Duration(units.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done = res.Completed
+	t.Logf("completed=%d avg=%.2fG min=%.2fG max=%.2fG",
+		res.Completed, res.AvgGoodput().Gigabits(),
+		units.Rate(res.Goodputs.Min()).Gigabits(), units.Rate(res.Goodputs.Max()).Gigabits())
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+func TestPrioritySamplingExtension(t *testing.T) {
+	rs := PrioritySampling(61)
+	if len(rs) != 2 {
+		t.Fatalf("%d results", len(rs))
+	}
+	off, on := rs[0], rs[1]
+	if off.Priority || !on.Priority {
+		t.Fatal("result ordering")
+	}
+	// A 54-byte SYN squeezes into byte-granularity headroom even on a
+	// saturated mirror, so delivery is high either way; the extension's
+	// measurable win is that flow boundaries skip the multi-millisecond
+	// mirror backlog entirely.
+	if on.SYNSeen < 0.95 {
+		t.Fatalf("priority class saw only %.0f%% of SYNs", on.SYNSeen*100)
+	}
+	if on.SYNSeen+1e-9 < off.SYNSeen {
+		t.Fatalf("priority reduced SYN visibility: %.2f < %.2f", on.SYNSeen, off.SYNSeen)
+	}
+	if off.SYNLatencyMedian < 1500 {
+		t.Fatalf("baseline SYN latency %.0fµs — mirror backlog missing", off.SYNLatencyMedian)
+	}
+	if on.SYNLatencyMedian > off.SYNLatencyMedian/5 {
+		t.Fatalf("priority latency %.0fµs vs baseline %.0fµs", on.SYNLatencyMedian, off.SYNLatencyMedian)
+	}
+	t.Logf("\n%s", PrioritySamplingTable(rs).Render())
+}
+
+func TestTargetRateMirroringExtension(t *testing.T) {
+	rs := TargetRateMirroring(63)
+	if len(rs) != 2 {
+		t.Fatalf("%d results", len(rs))
+	}
+	over, target := rs[0], rs[1]
+	// The paper's proposal: pre-thinning kills the 3.5 ms mirror backlog.
+	if over.LatencyMedian < 2000 {
+		t.Fatalf("oversubscribed latency %.0fµs — expected ms-scale backlog", over.LatencyMedian)
+	}
+	if target.LatencyMedian > 400 {
+		t.Fatalf("target-rate latency %.0fµs — backlog not eliminated", target.LatencyMedian)
+	}
+	// Estimation stays accurate in both modes (sequence numbers don't
+	// care how the samples were thinned).
+	if over.EstimateError > 0.10 || target.EstimateError > 0.10 {
+		t.Fatalf("estimate errors %.1f%% / %.1f%%", over.EstimateError*100, target.EstimateError*100)
+	}
+	t.Logf("\n%s", TargetRateTable(rs).Render())
+}

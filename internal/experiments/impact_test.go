@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+
+	"planck/internal/units"
+)
+
+func TestMirrorImpactShape(t *testing.T) {
+	pts := MirrorImpact(MirrorImpactParams{
+		Ports:    []int{2, 5},
+		Runs:     1,
+		Duration: 150 * units.Millisecond,
+		Seed:     11,
+	})
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	byKey := map[[2]interface{}]MirrorImpactPoint{}
+	for _, p := range pts {
+		byKey[[2]interface{}{p.Ports, p.Mirror}] = p
+	}
+	for _, n := range []int{2, 5} {
+		m := byKey[[2]interface{}{n, true}]
+		nm := byKey[[2]interface{}{n, false}]
+		// Fig 2: loss is small in absolute terms (paper: < 0.16%) and
+		// mirroring does not reduce it.
+		if m.LossPct > 1.0 {
+			t.Fatalf("ports=%d mirror loss %.3f%% too high", n, m.LossPct)
+		}
+		if m.LossPct+1e-9 < nm.LossPct {
+			t.Fatalf("ports=%d: mirroring reduced loss (%.4f < %.4f)", n, m.LossPct, nm.LossPct)
+		}
+		// Fig 3: mirroring lowers median latency (less shared buffer
+		// means shorter queues).
+		if m.LatMedian > nm.LatMedian*1.05 {
+			t.Fatalf("ports=%d: mirror median latency %.0f > no-mirror %.0f",
+				n, m.LatMedian, nm.LatMedian)
+		}
+		// Queueing latency should be in the switch-buffer millisecond
+		// range.
+		if nm.LatMedian < 200 || nm.LatMedian > 5000 {
+			t.Fatalf("ports=%d: no-mirror median %.0f µs out of range", n, nm.LatMedian)
+		}
+		// Fig 4: median flow throughput unaffected: two flows share a
+		// 10G port, so ≈4.7 Gbps each.
+		if m.TputMedian < 3.5 || m.TputMedian > 5.2 {
+			t.Fatalf("ports=%d: mirror tput median %.2f", n, m.TputMedian)
+		}
+		if diff := m.TputMedian - nm.TputMedian; diff > 0.6 || diff < -0.6 {
+			t.Fatalf("ports=%d: mirroring changed throughput by %.2f Gbps", n, diff)
+		}
+	}
+	t.Logf("\n%s", MirrorImpactTable(pts).Render())
+}
+
+func TestSampleStreamShape(t *testing.T) {
+	r := SampleStream(SampleStreamParams{Flows: 13, Duration: 80 * units.Millisecond, Seed: 12})
+	if r.BurstMTUs.N() < 1000 {
+		t.Fatalf("only %d bursts", r.BurstMTUs.N())
+	}
+	// Fig 5: the vast majority of bursts are <= 1 MTU (paper: >96%).
+	if frac := r.BurstMTUs.FractionAtOrBelow(1.0); frac < 0.85 {
+		t.Fatalf("burst <=1MTU fraction %.3f", frac)
+	}
+	// Fig 7: most inter-arrivals <= ~13 MTUs with a long tail
+	// (paper: 85% <= 13 MTUs).
+	if frac := r.InterarrivalMTUs.FractionAtOrBelow(13); frac < 0.6 {
+		t.Fatalf("interarrival <=13MTU fraction %.3f", frac)
+	}
+	if r.InterarrivalMTUs.Quantile(0.999) < 30 {
+		t.Fatal("no long tail in inter-arrivals")
+	}
+	t.Logf("\n%s\n%s", Fig5Table(r).Render(), Fig7Table(r).Render())
+}
+
+func TestFig6Growth(t *testing.T) {
+	rs := Fig6Sweep([]int{6, 12}, 60*units.Millisecond, 13)
+	m6 := rs[0].InterarrivalMTUs.Mean()
+	m12 := rs[1].InterarrivalMTUs.Mean()
+	// Fig 6: mean inter-arrival grows with the flow count. (In this
+	// measurement the mean is mathematically (flows-1) x mean burst
+	// length, so it tracks the ideal line only as bursts approach one
+	// MTU; at lower flow counts our switch admits slightly longer runs.)
+	if m12 <= m6 {
+		t.Fatalf("inter-arrival not growing: %d flows -> %.1f, %d flows -> %.1f",
+			6, m6, 12, m12)
+	}
+	if m6 < 4 || m6 > 15 {
+		t.Fatalf("6-flow mean %.1f MTUs, ideal 5", m6)
+	}
+	if m12 < 8 || m12 > 33 {
+		t.Fatalf("12-flow mean %.1f MTUs, ideal 11", m12)
+	}
+	t.Logf("\n%s", Fig6Table(rs).Render())
+}

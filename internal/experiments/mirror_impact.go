@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"planck/internal/sim"
+	"planck/internal/stats"
+	"planck/internal/tcpsim"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// MirrorImpactParams configures the §5.1 experiment behind Figures 2, 3,
+// and 4: n congested output ports (two senders saturating TCP to one
+// destination each) on a single 10 Gbps switch, with mirroring on or
+// off, measuring how oversubscribed mirroring perturbs the non-mirrored
+// traffic.
+type MirrorImpactParams struct {
+	Ports []int // congested output port counts to sweep (paper: 1..9)
+	Runs  int   // repetitions per configuration (paper: 15)
+	// Warmup excludes the synchronized slow-start transient from the
+	// measurements; Duration is the measured steady-state window.
+	Warmup   units.Duration
+	Duration units.Duration
+	Seed     int64
+}
+
+func (p *MirrorImpactParams) fill() {
+	if len(p.Ports) == 0 {
+		p.Ports = []int{1, 3, 5, 7, 9}
+	}
+	if p.Runs == 0 {
+		p.Runs = 3
+	}
+	if p.Warmup == 0 {
+		p.Warmup = 150 * units.Millisecond
+	}
+	if p.Duration == 0 {
+		p.Duration = 300 * units.Millisecond
+	}
+}
+
+// MirrorImpactPoint is one configuration's aggregate over runs.
+type MirrorImpactPoint struct {
+	Ports  int
+	Mirror bool
+	// LossPct is the percentage of non-mirrored packets dropped (Fig 2).
+	LossPct float64
+	// Latency quantiles of non-mirrored data packets, µs (Fig 3).
+	LatMedian, Lat99, Lat999 float64
+	// Per-interval flow throughput quantiles, Gbps (Fig 4).
+	TputMedian, Tput01 float64
+}
+
+// MirrorImpact runs the sweep.
+func MirrorImpact(p MirrorImpactParams) []MirrorImpactPoint {
+	p.fill()
+	var out []MirrorImpactPoint
+	for _, n := range p.Ports {
+		for _, mirror := range []bool{true, false} {
+			var lossNum, lossDen int64
+			lat := &stats.Sample{}
+			tput := &stats.Sample{}
+			for run := 0; run < p.Runs; run++ {
+				seed := p.Seed + int64(run)*1000 + int64(n)*10 + boolInt64(mirror)
+				runMirrorImpact(n, mirror, p.Warmup, p.Duration, seed, &lossNum, &lossDen, lat, tput)
+			}
+			pt := MirrorImpactPoint{
+				Ports:      n,
+				Mirror:     mirror,
+				LatMedian:  lat.Median(),
+				Lat99:      lat.Quantile(0.99),
+				Lat999:     lat.Quantile(0.999),
+				TputMedian: tput.Median(),
+				Tput01:     tput.Quantile(0.001),
+			}
+			if lossDen > 0 {
+				pt.LossPct = 100 * float64(lossNum) / float64(lossDen)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+func boolInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runMirrorImpact executes one run of the congested-ports scenario and
+// accumulates metrics.
+func runMirrorImpact(nPorts int, mirror bool, warmup, duration units.Duration, seed int64,
+	lossNum, lossDen *int64, lat, tput *stats.Sample) {
+
+	hosts := 3 * nPorts
+	opts := microLabOptions(SwitchG8264, hosts, false, seed)
+	opts.Mirror = mirror
+	l := mustLab(opts)
+
+	measuring := false
+	// Receivers are hosts 2n..3n-1; senders 0..2n-1, two per receiver.
+	var conns []*tcpsim.Conn
+	for r := 0; r < nPorts; r++ {
+		recv := 2*nPorts + r
+		// Receiver-side tcpdump for end-to-end latency of data packets.
+		l.Hosts[recv].OnDelivered = func(now units.Time, pkt *sim.Packet) {
+			if measuring && pkt.Kind == sim.KindTCP && pkt.PayloadLen > 0 && pkt.SentAt > 0 {
+				lat.Add(now.Sub(pkt.SentAt).Microseconds())
+			}
+		}
+		for s := 0; s < 2; s++ {
+			src := 2*r + s
+			c, err := l.Hosts[src].StartFlow(0, topo.HostIP(recv), uint16(5001+s), 1<<40, int32(2*r+s))
+			if err != nil {
+				panic(err)
+			}
+			conns = append(conns, c)
+		}
+	}
+
+	// Per-interval flow throughput (the paper averages over 1 s; we use
+	// duration/4 so short runs still produce several intervals).
+	interval := duration / 4
+	last := make([]int64, len(conns))
+	sim.NewTicker(l.Eng, interval, func(now units.Time) {
+		if !measuring {
+			return
+		}
+		for i, c := range conns {
+			d := c.BytesAcked() - last[i]
+			last[i] = c.BytesAcked()
+			tput.Add(units.RateOf(d, interval).Gigabits())
+		}
+	})
+
+	// Exclude the synchronized slow-start transient: warm up, snapshot
+	// the switch counters, then measure the steady state.
+	l.Run(warmup)
+	sw := l.Switches[0]
+	drop0, fwd0 := sw.DataDropped.Packets, sw.DataForwarded.Packets
+	for i, c := range conns {
+		last[i] = c.BytesAcked()
+	}
+	measuring = true
+	l.Run(warmup + duration)
+
+	*lossNum += sw.DataDropped.Packets - drop0
+	*lossDen += (sw.DataDropped.Packets - drop0) + (sw.DataForwarded.Packets - fwd0)
+}
+
+// MirrorImpactTable renders the sweep as Figures 2–4's data.
+func MirrorImpactTable(points []MirrorImpactPoint) *Table {
+	t := &Table{
+		Title: "Figures 2-4: impact of oversubscribed mirroring on non-mirrored traffic",
+		Columns: []string{"ports", "mirror", "loss%", "lat p50 (µs)", "lat p99", "lat p99.9",
+			"tput p50 (Gbps)", "tput p0.1"},
+	}
+	for _, pt := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", pt.Ports),
+			fmt.Sprintf("%v", pt.Mirror),
+			fmt.Sprintf("%.3f", pt.LossPct),
+			fmt.Sprintf("%.0f", pt.LatMedian),
+			fmt.Sprintf("%.0f", pt.Lat99),
+			fmt.Sprintf("%.0f", pt.Lat999),
+			fmt.Sprintf("%.2f", pt.TputMedian),
+			fmt.Sprintf("%.2f", pt.Tput01),
+		)
+	}
+	return t
+}

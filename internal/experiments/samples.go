@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"planck/internal/sim"
+	"planck/internal/stats"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// SampleStreamParams configures the §5.3 analysis: N max-rate TCP flows
+// with unique source-destination pairs, all mirrored to one saturated
+// monitor port.
+type SampleStreamParams struct {
+	Flows    int
+	Duration units.Duration
+	Seed     int64
+}
+
+// SampleStreamResult holds the Figure 5–7 metrics.
+type SampleStreamResult struct {
+	Flows int
+	// BurstMTUs is the distribution of consecutive same-flow sample runs,
+	// in 1500-byte MTUs (Fig. 5).
+	BurstMTUs *stats.Sample
+	// InterarrivalMTUs is the distribution of other-flow bytes between
+	// bursts of a given flow, in MTUs (Figs. 6 and 7, red line).
+	InterarrivalMTUs *stats.Sample
+	// SenderGapMTUs is how many MTUs would fit in each sender-side
+	// transmission gap (Fig. 7, blue line).
+	SenderGapMTUs *stats.Sample
+}
+
+// SampleStream runs the analysis for one flow count.
+func SampleStream(p SampleStreamParams) *SampleStreamResult {
+	if p.Duration == 0 {
+		p.Duration = 100 * units.Millisecond
+	}
+	n := p.Flows
+	warmup := units.Time(20 * units.Millisecond)
+	l := mustLab(microLabOptions(SwitchG8264, 2*n, false, p.Seed))
+
+	res := &SampleStreamResult{
+		Flows:            n,
+		BurstMTUs:        &stats.Sample{},
+		InterarrivalMTUs: &stats.Sample{},
+		SenderGapMTUs:    &stats.Sample{},
+	}
+
+	// One full-size frame (MSS 1460 + 54 bytes of headers) counts as one
+	// MTU, matching the paper's packet-granularity reading of Fig. 5.
+	const mtu = 1514.0
+	// Burst/inter-arrival scanning state over the collector sample
+	// stream (data packets only).
+	curFlow := int32(-1)
+	var curBurstBytes float64
+	// interGap[f] accumulates other-flow bytes since flow f's last burst.
+	interGap := make([]float64, n)
+	seen := make([]bool, n)
+
+	l.Collectors[0].OnSample = func(at units.Time, pkt *sim.Packet) {
+		if at < warmup || pkt.Kind != sim.KindTCP || pkt.PayloadLen == 0 || pkt.FlowID < 0 {
+			return
+		}
+		f := pkt.FlowID
+		if f != curFlow {
+			if curFlow >= 0 {
+				res.BurstMTUs.Add(curBurstBytes / mtu)
+			}
+			if seen[f] {
+				res.InterarrivalMTUs.Add(interGap[f] / mtu)
+			}
+			seen[f] = true
+			interGap[f] = 0
+			curFlow = f
+			curBurstBytes = 0
+		}
+		curBurstBytes += float64(pkt.WireLen)
+		for o := int32(0); o < int32(n); o++ {
+			if o != f && seen[o] {
+				interGap[o] += float64(pkt.WireLen)
+			}
+		}
+	}
+
+	// Sender-side gap observation: how many MTU transmissions fit in
+	// each pause between data segments.
+	mtuTime := units.Rate10G.Serialize(1514 + sim.EthernetOverhead)
+	lastSent := make([]units.Time, n)
+	for i := 0; i < n; i++ {
+		i := i
+		l.Hosts[i].OnSegmentSent = func(now units.Time, pkt *sim.Packet) {
+			if now < warmup || pkt.PayloadLen == 0 || pkt.FlowID != int32(i) {
+				return
+			}
+			if lastSent[i] > 0 {
+				gap := now.Sub(lastSent[i])
+				res.SenderGapMTUs.Add(float64(gap) / float64(mtuTime))
+			}
+			lastSent[i] = now
+		}
+		if _, err := l.Hosts[i].StartFlow(0, topo.HostIP(i+n), 5001, 1<<40, int32(i)); err != nil {
+			panic(err)
+		}
+	}
+
+	l.Run(p.Duration)
+	return res
+}
+
+// Fig6Sweep measures the mean inter-arrival length for a range of flow
+// counts; the paper predicts growth linear in (flows - 1).
+func Fig6Sweep(counts []int, duration units.Duration, seed int64) []*SampleStreamResult {
+	if len(counts) == 0 {
+		counts = []int{2, 4, 6, 8, 10, 12, 14}
+	}
+	out := make([]*SampleStreamResult, 0, len(counts))
+	for _, n := range counts {
+		out = append(out, SampleStream(SampleStreamParams{Flows: n, Duration: duration, Seed: seed}))
+	}
+	return out
+}
+
+// Fig5Table summarizes the burst-length CDF for one flow count.
+func Fig5Table(r *SampleStreamResult) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 5: burst length CDF, %d concurrent flows", r.Flows),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("bursts observed", fmt.Sprintf("%d", r.BurstMTUs.N()))
+	t.AddRow("fraction <= 1 MTU", fmt.Sprintf("%.3f", r.BurstMTUs.FractionAtOrBelow(1.0)))
+	t.AddRow("fraction <= 2 MTU", fmt.Sprintf("%.3f", r.BurstMTUs.FractionAtOrBelow(2.0)))
+	t.AddRow("p99 (MTUs)", fmt.Sprintf("%.1f", r.BurstMTUs.Quantile(0.99)))
+	return t
+}
+
+// Fig6Table renders the sweep.
+func Fig6Table(results []*SampleStreamResult) *Table {
+	t := &Table{
+		Title:   "Figure 6: mean inter-arrival length vs flow count",
+		Columns: []string{"flows", "mean inter-arrival (MTUs)", "ideal (flows-1)"},
+	}
+	for _, r := range results {
+		t.AddRow(fmt.Sprintf("%d", r.Flows),
+			fmt.Sprintf("%.1f", r.InterarrivalMTUs.Mean()),
+			fmt.Sprintf("%d", r.Flows-1))
+	}
+	return t
+}
+
+// Fig7Table compares collector-side inter-arrivals with sender-side gaps.
+func Fig7Table(r *SampleStreamResult) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 7: inter-arrival CDF, %d flows (collector vs sender)", r.Flows),
+		Columns: []string{"metric", "collector", "sender gaps"},
+	}
+	fr := func(s *stats.Sample, x float64) string {
+		return fmt.Sprintf("%.3f", s.FractionAtOrBelow(x))
+	}
+	t.AddRow("fraction <= 13 MTUs", fr(r.InterarrivalMTUs, 13), fr(r.SenderGapMTUs, 13))
+	t.AddRow("fraction <= 50 MTUs", fr(r.InterarrivalMTUs, 50), fr(r.SenderGapMTUs, 50))
+	t.AddRow("p99 (MTUs)",
+		fmt.Sprintf("%.0f", r.InterarrivalMTUs.Quantile(0.99)),
+		fmt.Sprintf("%.0f", r.SenderGapMTUs.Quantile(0.99)))
+	return t
+}

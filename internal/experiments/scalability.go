@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"fmt"
+
+	"planck/internal/scale"
+)
+
+// Scalability reproduces the §9.1 deployment-cost estimates.
+func Scalability() *Table {
+	t := &Table{
+		Title:   "Section 9.1: deployment scalability",
+		Columns: []string{"topology", "hosts", "switches", "collector servers", "% of hosts"},
+	}
+	ft := scale.PlanFatTree(63, 1)
+	t.AddRow("fat-tree (64-port, 1 monitor)",
+		fmt.Sprintf("%d", ft.Hosts), fmt.Sprintf("%d", ft.Switches),
+		fmt.Sprintf("%d", ft.CollectorServers),
+		fmt.Sprintf("%.2f%%", ft.ServerFraction*100))
+	jf := scale.PlanJellyfish(52, 1, ft.Hosts)
+	t.AddRow("Jellyfish (same hosts)",
+		fmt.Sprintf("%d", jf.Hosts), fmt.Sprintf("%d", jf.Switches),
+		fmt.Sprintf("%d", jf.CollectorServers),
+		fmt.Sprintf("%.2f%%", jf.ServerFraction*100))
+
+	with := scale.PlanFatTree(63, 1)
+	without := scale.PlanFatTree(63, 0)
+	t.AddRow("fat-tree host cost of monitor port", "", "", "",
+		fmt.Sprintf("%.1f%% fewer hosts", scale.HostCountCost(with, without)*100))
+	return t
+}

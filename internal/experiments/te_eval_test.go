@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+
+	"planck/internal/units"
+)
+
+// TestFig17SmallFlowHeadline verifies the paper's headline: with 50 MiB
+// flows, PlanckTE tracks Optimal closely while Static (and polling at
+// 1 s granularity, which cannot engineer flows this short) trails far
+// behind.
+func TestFig17SmallFlowHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fat-tree workloads")
+	}
+	const size = 50 << 20
+	cells := Fig17(Fig17Params{
+		Sizes:   []int64{size},
+		Schemes: []Scheme{SchemeStatic, SchemePoll1s, SchemePlanckTE, SchemeOptimal},
+		Timeout: 10 * units.Duration(units.Second),
+		Seed:    51,
+	})
+	byScheme := map[Scheme]float64{}
+	for _, c := range cells {
+		byScheme[c.Scheme] = c.AvgGbps
+	}
+	t.Logf("\n%s", Fig17Table(cells).Render())
+
+	opt := byScheme[SchemeOptimal]
+	planck := byScheme[SchemePlanckTE]
+	static := byScheme[SchemeStatic]
+	poll1 := byScheme[SchemePoll1s]
+
+	if opt < 4 {
+		t.Fatalf("optimal only %.2f Gbps for 50 MiB flows", opt)
+	}
+	// PlanckTE within striking distance of Optimal (paper: 1-4%; allow
+	// simulator slack).
+	if planck < 0.70*opt {
+		t.Fatalf("PlanckTE %.2f vs Optimal %.2f", planck, opt)
+	}
+	// Static suffers badly from collisions.
+	if static > 0.75*opt {
+		t.Fatalf("Static %.2f suspiciously close to Optimal %.2f", static, opt)
+	}
+	if planck < 1.15*static {
+		t.Fatalf("PlanckTE %.2f not clearly better than Static %.2f", planck, static)
+	}
+	// Poll-1s cannot help 50 MiB flows (they finish before the first
+	// poll); it should look like Static, far from PlanckTE.
+	if poll1 > 0.8*planck {
+		t.Fatalf("Poll-1s %.2f should trail PlanckTE %.2f on 50 MiB flows", poll1, planck)
+	}
+}
+
+// TestFig14ShuffleCell runs one shuffle cell end to end, checking host
+// completion accounting works under the dynamic workload.
+func TestFig14ShuffleCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fat-tree workloads")
+	}
+	res := RunWorkload(WorkloadShuffle, SchemeOptimal, 4<<20, 53, 30*units.Duration(units.Second))
+	if res.Completed != res.Total {
+		t.Fatalf("completed %d/%d", res.Completed, res.Total)
+	}
+	if res.HostCompletion.N() != 16 {
+		t.Fatalf("host completions %d", res.HostCompletion.N())
+	}
+}

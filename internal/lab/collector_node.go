@@ -1,0 +1,127 @@
+package lab
+
+import (
+	"planck/internal/core"
+	"planck/internal/sim"
+	"planck/internal/stats"
+	"planck/internal/switchsim"
+	"planck/internal/units"
+)
+
+// CollectorNode is the server process terminating one monitor link. It
+// models the capture stack the paper built on netmap: frames arriving on
+// the NIC are delivered to the collector in batches at each poll tick,
+// and every sample's timestamp is the delivery time — which is what the
+// rate estimator and all latency measurements see. The node serializes
+// each simulated packet into genuine wire bytes before handing it to the
+// collector, so the exact parse path a hardware deployment would run is
+// exercised for every sample.
+type CollectorNode struct {
+	eng      *sim.Engine
+	col      *core.Collector
+	port     *sim.Port
+	poll     units.Duration
+	overhead units.Duration
+
+	pending []*sim.Packet
+	ticker  *sim.Ticker
+
+	scratch []byte
+
+	// SampleLatency records, for every delivered sample, the time from
+	// the sender's stamp (tcpdump-equivalent) to collector delivery —
+	// the measurement latency of §5.2/Fig. 8.
+	SampleLatency *stats.Sample
+	// MirrorQueueLatency records time from switch entry to collector
+	// delivery (the buffering component, Fig. 12).
+	MirrorQueueLatency *stats.Sample
+
+	// OnSample, when set, observes each delivered sample after ingest.
+	OnSample func(now units.Time, pkt *sim.Packet)
+
+	// IngestErrors counts frames the collector rejected.
+	IngestErrors int64
+}
+
+// NewCollectorNode builds a collector process with its NIC port running
+// at rate (which must match the monitor port it connects to).
+func NewCollectorNode(eng *sim.Engine, col *core.Collector, rate units.Rate, poll, overhead units.Duration) *CollectorNode {
+	n := &CollectorNode{
+		eng:                eng,
+		col:                col,
+		poll:               poll,
+		overhead:           overhead,
+		scratch:            make([]byte, 2048),
+		SampleLatency:      &stats.Sample{},
+		MirrorQueueLatency: &stats.Sample{},
+	}
+	n.port = sim.NewPort(eng, n, 0, rate)
+	return n
+}
+
+// Port returns the node's NIC. It must be connected to a monitor port.
+func (n *CollectorNode) Port() *sim.Port { return n.port }
+
+// AttachInSwitch binds the collector to a switch's data-plane sample
+// sink (§9.2's in-switch collector): samples arrive at switching time
+// with no monitor port, no mirror queue, and no polling batch — only the
+// fixed processing overhead applies.
+func (n *CollectorNode) AttachInSwitch(sw *switchsim.Switch) {
+	sw.SampleSink = func(now units.Time, pkt *sim.Packet) {
+		at := now.Add(n.overhead)
+		frame := pkt.WireBytes(n.scratch)
+		n.scratch = frame[:cap(frame)]
+		if err := n.col.Ingest(at, frame); err != nil {
+			n.IngestErrors++
+		}
+		if pkt.SentAt > 0 {
+			n.SampleLatency.Add(at.Sub(pkt.SentAt).Microseconds())
+		}
+		if pkt.EnteredSwitch > 0 {
+			n.MirrorQueueLatency.Add(at.Sub(pkt.EnteredSwitch).Microseconds())
+		}
+		if n.OnSample != nil {
+			n.OnSample(at, pkt)
+		}
+	}
+}
+
+// Collector returns the wrapped collector.
+func (n *CollectorNode) Collector() *core.Collector { return n.col }
+
+// Name implements sim.Node.
+func (n *CollectorNode) Name() string { return "collector" }
+
+// Receive implements sim.Node: buffer the frame until the next poll.
+func (n *CollectorNode) Receive(now units.Time, _ *sim.Port, pkt *sim.Packet) {
+	n.pending = append(n.pending, pkt)
+	if n.ticker == nil {
+		n.ticker = sim.NewTicker(n.eng, n.poll, n.deliver)
+	}
+}
+
+// deliver flushes the pending batch into the collector.
+func (n *CollectorNode) deliver(now units.Time) {
+	if len(n.pending) == 0 {
+		return
+	}
+	at := now.Add(n.overhead)
+	for _, pkt := range n.pending {
+		frame := pkt.WireBytes(n.scratch)
+		n.scratch = frame[:cap(frame)]
+		if err := n.col.Ingest(at, frame); err != nil {
+			n.IngestErrors++
+		}
+		if pkt.SentAt > 0 {
+			n.SampleLatency.Add(at.Sub(pkt.SentAt).Microseconds())
+		}
+		if pkt.EnteredSwitch > 0 {
+			n.MirrorQueueLatency.Add(at.Sub(pkt.EnteredSwitch).Microseconds())
+		}
+		if n.OnSample != nil {
+			n.OnSample(at, pkt)
+		}
+		n.eng.FreePacket(pkt)
+	}
+	n.pending = n.pending[:0]
+}

@@ -1,0 +1,155 @@
+// Package netflow models the flow-cache measurement pipeline of §2.3: a
+// switch keeps a cache of active flows, incrementing counters per packet;
+// records reach the collector only when an entry is evicted (cache
+// pressure) or times out — and the timeouts are "on the order of
+// seconds", which is the latency wall the paper contrasts Planck against.
+package netflow
+
+import (
+	"container/list"
+
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// Record is one exported flow observation.
+type Record struct {
+	Key         packet.FlowKey
+	Packets     int64
+	Bytes       int64
+	First, Last units.Time
+	// Reason explains the export: "evict", "active", or "inactive".
+	Reason string
+}
+
+// Rate returns the record's average rate over its active span.
+func (r Record) Rate() units.Rate {
+	return units.RateOf(r.Bytes, r.Last.Sub(r.First))
+}
+
+// Config sizes the cache, mirroring typical switch defaults.
+type Config struct {
+	// Entries caps the cache (the G8264-class boxes hold ~1000 flow
+	// rules, §2.3).
+	Entries int
+	// ActiveTimeout exports long-lived flows periodically (Cisco default
+	// 30 min; often configured to 60 s).
+	ActiveTimeout units.Duration
+	// InactiveTimeout exports idle flows (default 15 s).
+	InactiveTimeout units.Duration
+}
+
+// DefaultConfig reflects §2.3's characterization.
+func DefaultConfig() Config {
+	return Config{
+		Entries:         1000,
+		ActiveTimeout:   60 * units.Duration(units.Second),
+		InactiveTimeout: 15 * units.Duration(units.Second),
+	}
+}
+
+type entry struct {
+	rec Record
+	lru *list.Element
+}
+
+// Cache is the switch-side flow cache.
+type Cache struct {
+	cfg     Config
+	entries map[packet.FlowKey]*entry
+	lru     *list.List // front = most recently touched; values are FlowKeys
+
+	// Export receives records as they leave the cache.
+	Export func(rec Record)
+
+	// Evictions and Exports count cache activity.
+	Evictions, Exports int64
+}
+
+// New creates a cache.
+func New(cfg Config, export func(rec Record)) *Cache {
+	if cfg.Entries <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[packet.FlowKey]*entry),
+		lru:     list.New(),
+		Export:  export,
+	}
+}
+
+// Len returns the number of cached flows.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Observe folds in one forwarded packet.
+func (c *Cache) Observe(t units.Time, key packet.FlowKey, wireLen int) {
+	if e, ok := c.entries[key]; ok {
+		e.rec.Packets++
+		e.rec.Bytes += int64(wireLen)
+		e.rec.Last = t
+		c.lru.MoveToFront(e.lru)
+		// Active timeout: long-running flows export-and-reset so the
+		// collector hears about them at all.
+		if t.Sub(e.rec.First) >= c.cfg.ActiveTimeout {
+			c.export(e.rec, "active")
+			e.rec.Packets, e.rec.Bytes = 0, 0
+			e.rec.First = t
+		}
+		return
+	}
+	if len(c.entries) >= c.cfg.Entries {
+		c.evictOldest()
+	}
+	e := &entry{rec: Record{Key: key, Packets: 1, Bytes: int64(wireLen), First: t, Last: t}}
+	e.lru = c.lru.PushFront(key)
+	c.entries[key] = e
+}
+
+// Sweep expires idle entries; call periodically with the current time.
+func (c *Cache) Sweep(t units.Time) {
+	for el := c.lru.Back(); el != nil; {
+		key := el.Value.(packet.FlowKey)
+		e := c.entries[key]
+		if t.Sub(e.rec.Last) < c.cfg.InactiveTimeout {
+			break // LRU order: everything nearer the front is fresher
+		}
+		prev := el.Prev()
+		c.remove(key, "inactive")
+		el = prev
+	}
+}
+
+// Flush exports everything (collector shutdown semantics).
+func (c *Cache) Flush() {
+	for key := range c.entries {
+		c.remove(key, "inactive")
+	}
+}
+
+func (c *Cache) evictOldest() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	c.Evictions++
+	c.remove(el.Value.(packet.FlowKey), "evict")
+}
+
+func (c *Cache) remove(key packet.FlowKey, reason string) {
+	e := c.entries[key]
+	if e == nil {
+		return
+	}
+	c.lru.Remove(e.lru)
+	delete(c.entries, key)
+	c.export(e.rec, reason)
+}
+
+func (c *Cache) export(rec Record, reason string) {
+	rec.Reason = reason
+	c.Exports++
+	if c.Export != nil {
+		c.Export(rec)
+	}
+}

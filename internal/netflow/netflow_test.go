@@ -1,0 +1,123 @@
+package netflow
+
+import (
+	"testing"
+
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+func key(i int) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: packet.IPv4{10, 0, 0, byte(i)}, DstIP: packet.IPv4{10, 0, 1, 1},
+		SrcPort: uint16(1000 + i), DstPort: 80, Proto: packet.IPProtocolTCP,
+	}
+}
+
+const sec = units.Duration(units.Second)
+
+func TestCacheAccumulates(t *testing.T) {
+	c := New(DefaultConfig(), nil)
+	for i := 0; i < 100; i++ {
+		c.Observe(units.Time(i*1000), key(1), 1500)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+	c.Flush()
+	if c.Exports != 1 {
+		t.Fatalf("exports %d", c.Exports)
+	}
+}
+
+func TestInactiveTimeoutDelaysVisibility(t *testing.T) {
+	// §2.3's point: the collector hears about a flow only after the
+	// inactive timeout — seconds after the flow ended.
+	var got []Record
+	c := New(Config{Entries: 100, ActiveTimeout: 60 * sec, InactiveTimeout: 15 * sec},
+		func(r Record) { got = append(got, r) })
+
+	// A 100 ms flow at t=0.
+	for i := 0; i < 1000; i++ {
+		c.Observe(units.Time(i*100*1000), key(1), 1500)
+	}
+	// Sweeps before the timeout export nothing.
+	c.Sweep(units.Time(10 * sec))
+	if len(got) != 0 {
+		t.Fatalf("exported %d records before inactive timeout", len(got))
+	}
+	c.Sweep(units.Time(16 * sec))
+	if len(got) != 1 {
+		t.Fatalf("exported %d records after timeout", len(got))
+	}
+	r := got[0]
+	if r.Reason != "inactive" || r.Packets != 1000 || r.Bytes != 1500*1000 {
+		t.Fatalf("record %+v", r)
+	}
+	// Visibility latency: flow ended at ~0.1 s, report at 16 s.
+	if lag := units.Time(16 * sec).Sub(r.Last); lag < 15*sec {
+		t.Fatalf("visibility lag %v", lag)
+	}
+}
+
+func TestActiveTimeoutReportsLongFlows(t *testing.T) {
+	var got []Record
+	c := New(Config{Entries: 10, ActiveTimeout: 1 * sec, InactiveTimeout: 15 * sec},
+		func(r Record) { got = append(got, r) })
+	// A 2.5 s continuous flow: two active-timeout exports.
+	for i := 0; i <= 2500; i++ {
+		c.Observe(units.Time(units.Duration(i)*units.Millisecond), key(1), 1500)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d active exports", len(got))
+	}
+	for _, r := range got {
+		if r.Reason != "active" {
+			t.Fatalf("reason %q", r.Reason)
+		}
+		// ≈1 s of 1500 B/ms = 12 Mbps-scale byte counts.
+		if r.Bytes < 1400*1000 || r.Bytes > 1600*1000 {
+			t.Fatalf("bytes %d", r.Bytes)
+		}
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	var got []Record
+	c := New(Config{Entries: 50, ActiveTimeout: 60 * sec, InactiveTimeout: 15 * sec},
+		func(r Record) { got = append(got, r) })
+	// 200 distinct flows through a 50-entry cache.
+	for i := 0; i < 200; i++ {
+		c.Observe(units.Time(i*1000), key(i), 1500)
+	}
+	if c.Len() != 50 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if c.Evictions != 150 {
+		t.Fatalf("evictions %d", c.Evictions)
+	}
+	// Evictions export the LRU entry.
+	if got[0].Key != key(0) {
+		t.Fatalf("first eviction %v", got[0].Key)
+	}
+}
+
+func TestLRUTouchOrder(t *testing.T) {
+	var got []Record
+	c := New(Config{Entries: 2, ActiveTimeout: 60 * sec, InactiveTimeout: 15 * sec},
+		func(r Record) { got = append(got, r) })
+	c.Observe(0, key(1), 100)
+	c.Observe(1, key(2), 100)
+	c.Observe(2, key(1), 100) // touch 1: key 2 becomes LRU
+	c.Observe(3, key(3), 100) // evicts key 2
+	if len(got) != 1 || got[0].Key != key(2) {
+		t.Fatalf("evicted %+v", got)
+	}
+}
+
+func TestRecordRate(t *testing.T) {
+	r := Record{Bytes: 1_250_000, First: 0, Last: units.Time(units.Millisecond)}
+	if got := r.Rate(); got != units.Rate10G {
+		t.Fatalf("rate %v", got)
+	}
+}

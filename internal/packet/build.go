@@ -1,0 +1,169 @@
+package packet
+
+// Builders assemble complete frames with valid lengths and checksums.
+// They are used by the simulated hosts to emit real bytes and by tests to
+// construct fixtures; the collector only ever sees wire-format frames.
+
+// TCPSpec describes a TCP segment to build.
+type TCPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv4
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	TTL              uint8
+	IPID             uint16
+	PayloadLen       int // payload is zero-filled; length is what matters
+}
+
+// BuildTCP serializes a TCP/IPv4/Ethernet frame into buf, growing it if
+// needed, and returns the frame. Checksums are valid.
+func BuildTCP(buf []byte, s TCPSpec) []byte {
+	total := EthernetHeaderLen + IPv4MinHeaderLen + TCPMinHeaderLen + s.PayloadLen
+	buf = grow(buf, total)
+
+	eth := Ethernet{Dst: s.DstMAC, Src: s.SrcMAC, Type: EtherTypeIPv4}
+	off := eth.serialize(buf)
+
+	ttl := s.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	ip := IPv4Header{
+		TotalLen: uint16(IPv4MinHeaderLen + TCPMinHeaderLen + s.PayloadLen),
+		ID:       s.IPID,
+		Flags:    0x2, // DF
+		TTL:      ttl,
+		Protocol: IPProtocolTCP,
+		Src:      s.SrcIP,
+		Dst:      s.DstIP,
+	}
+	ipOff := off
+	off += ip.serialize(buf[off:])
+
+	window := s.Window
+	if window == 0 {
+		window = 0xffff
+	}
+	tcp := TCPHeader{
+		SrcPort: s.SrcPort, DstPort: s.DstPort,
+		Seq: s.Seq, Ack: s.Ack,
+		Flags: s.Flags, Window: window,
+	}
+	tcpOff := off
+	off += tcp.serialize(buf[off:])
+	zero(buf[off : off+s.PayloadLen])
+	off += s.PayloadLen
+
+	seg := buf[tcpOff:off]
+	ck := L4Checksum(ip.Src, ip.Dst, IPProtocolTCP, seg)
+	seg[16], seg[17] = byte(ck>>8), byte(ck)
+	_ = ipOff
+	return buf[:off]
+}
+
+// UDPSpec describes a UDP datagram to build.
+type UDPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv4
+	SrcPort, DstPort uint16
+	TTL              uint8
+	IPID             uint16
+	PayloadLen       int
+	// Seq, when HasSeq is set, is written big-endian into the first four
+	// payload bytes — an application-level packet counter of the kind
+	// §3.2.2 generalizes rate estimation to.
+	Seq    uint32
+	HasSeq bool
+}
+
+// BuildUDP serializes a UDP/IPv4/Ethernet frame into buf, growing it if
+// needed, and returns the frame. Checksums are valid.
+func BuildUDP(buf []byte, s UDPSpec) []byte {
+	total := EthernetHeaderLen + IPv4MinHeaderLen + UDPHeaderLen + s.PayloadLen
+	buf = grow(buf, total)
+
+	eth := Ethernet{Dst: s.DstMAC, Src: s.SrcMAC, Type: EtherTypeIPv4}
+	off := eth.serialize(buf)
+
+	ttl := s.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	ip := IPv4Header{
+		TotalLen: uint16(IPv4MinHeaderLen + UDPHeaderLen + s.PayloadLen),
+		ID:       s.IPID,
+		TTL:      ttl,
+		Protocol: IPProtocolUDP,
+		Src:      s.SrcIP,
+		Dst:      s.DstIP,
+	}
+	off += ip.serialize(buf[off:])
+
+	udp := UDPHeader{
+		SrcPort: s.SrcPort, DstPort: s.DstPort,
+		Length: uint16(UDPHeaderLen + s.PayloadLen),
+	}
+	udpOff := off
+	off += udp.serialize(buf[off:])
+	zero(buf[off : off+s.PayloadLen])
+	if s.HasSeq && s.PayloadLen >= 4 {
+		buf[off] = byte(s.Seq >> 24)
+		buf[off+1] = byte(s.Seq >> 16)
+		buf[off+2] = byte(s.Seq >> 8)
+		buf[off+3] = byte(s.Seq)
+	}
+	off += s.PayloadLen
+
+	seg := buf[udpOff:off]
+	ck := L4Checksum(ip.Src, ip.Dst, IPProtocolUDP, seg)
+	if ck == 0 {
+		ck = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	seg[6], seg[7] = byte(ck>>8), byte(ck)
+	return buf[:off]
+}
+
+// ARPSpec describes an ARP frame to build. DstMAC is the Ethernet
+// destination, which for the controller's unicast spoofed requests differs
+// from the broadcast used by ordinary resolution.
+type ARPSpec struct {
+	SrcMAC, DstMAC MAC
+	Op             ARPOp
+	SenderMAC      MAC
+	SenderIP       IPv4
+	TargetMAC      MAC
+	TargetIP       IPv4
+}
+
+// BuildARP serializes an ARP/Ethernet frame into buf, growing it if
+// needed, and returns the frame.
+func BuildARP(buf []byte, s ARPSpec) []byte {
+	total := EthernetHeaderLen + ARPBodyLen
+	buf = grow(buf, total)
+
+	eth := Ethernet{Dst: s.DstMAC, Src: s.SrcMAC, Type: EtherTypeARP}
+	off := eth.serialize(buf)
+
+	arp := ARP{
+		Op:        s.Op,
+		SenderMAC: s.SenderMAC, SenderIP: s.SenderIP,
+		TargetMAC: s.TargetMAC, TargetIP: s.TargetIP,
+	}
+	off += arp.serialize(buf[off:])
+	return buf[:off]
+}
+
+func grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,154 @@
+package packet
+
+import "fmt"
+
+// LayerMask records which layers a Decode found.
+type LayerMask uint8
+
+// Layer bits.
+const (
+	LayerEthernet LayerMask = 1 << iota
+	LayerARP
+	LayerIPv4
+	LayerTCP
+	LayerUDP
+)
+
+// Decoded is the result of parsing one frame. It is designed to be reused:
+// Decode overwrites every field it sets and clears the mask first, so a
+// collector can keep one Decoded per goroutine and parse millions of
+// frames without allocating.
+type Decoded struct {
+	Layers LayerMask
+	Eth    Ethernet
+	ARP    ARP
+	IP     IPv4Header
+	TCP    TCPHeader
+	UDP    UDPHeader
+
+	// PayloadLen is the length in bytes of the application payload beyond
+	// the innermost decoded header. For TCP over IPv4 it honours the IP
+	// TotalLen field rather than the capture length, so truncated mirror
+	// captures still report the true payload size.
+	PayloadLen int
+
+	// WireLen is the frame length implied by the headers (Ethernet + IP
+	// TotalLen when present, otherwise the capture length).
+	WireLen int
+}
+
+// Has reports whether every layer in mask was decoded.
+func (d *Decoded) Has(mask LayerMask) bool { return d.Layers&mask == mask }
+
+// Decode parses an Ethernet frame. On error the mask reflects the layers
+// decoded so far, letting callers keep partial information.
+func (d *Decoded) Decode(b []byte) error {
+	d.Layers = 0
+	d.PayloadLen = 0
+	d.WireLen = len(b)
+
+	n, err := d.Eth.decode(b)
+	if err != nil {
+		return err
+	}
+	d.Layers |= LayerEthernet
+	rest := b[n:]
+
+	switch d.Eth.Type {
+	case EtherTypeARP:
+		if _, err := d.ARP.decode(rest); err != nil {
+			return err
+		}
+		d.Layers |= LayerARP
+		return nil
+	case EtherTypeIPv4:
+		return d.decodeIPv4(rest)
+	default:
+		return fmt.Errorf("ethertype %#04x: %w", uint16(d.Eth.Type), ErrUnsupported)
+	}
+}
+
+func (d *Decoded) decodeIPv4(b []byte) error {
+	n, err := d.IP.decode(b)
+	if err != nil {
+		return err
+	}
+	d.Layers |= LayerIPv4
+	ipPayload := int(d.IP.TotalLen) - n
+	if ipPayload < 0 {
+		return fmt.Errorf("ipv4 total length %d < header %d: %w", d.IP.TotalLen, n, ErrBadHdrLen)
+	}
+	d.WireLen = EthernetHeaderLen + int(d.IP.TotalLen)
+	rest := b[n:]
+
+	switch d.IP.Protocol {
+	case IPProtocolTCP:
+		hn, err := d.TCP.decode(rest)
+		if err != nil {
+			return err
+		}
+		d.Layers |= LayerTCP
+		d.PayloadLen = ipPayload - hn
+		return nil
+	case IPProtocolUDP:
+		hn, err := d.UDP.decode(rest)
+		if err != nil {
+			return err
+		}
+		d.Layers |= LayerUDP
+		d.PayloadLen = ipPayload - hn
+		return nil
+	default:
+		d.PayloadLen = ipPayload
+		return fmt.Errorf("ip protocol %d: %w", uint8(d.IP.Protocol), ErrUnsupported)
+	}
+}
+
+// FlowKey is a compact 5-tuple key identifying a transport flow. It is
+// comparable and therefore usable directly as a map key.
+type FlowKey struct {
+	SrcIP   IPv4
+	DstIP   IPv4
+	SrcPort uint16
+	DstPort uint16
+	Proto   IPProtocol
+}
+
+// String renders the key as "proto src:port>dst:port".
+func (k FlowKey) String() string {
+	proto := "ip"
+	switch k.Proto {
+	case IPProtocolTCP:
+		proto = "tcp"
+	case IPProtocolUDP:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %s:%d>%s:%d", proto, k.SrcIP, k.SrcPort, k.DstIP, k.DstPort)
+}
+
+// Reverse returns the key of the opposite direction of the same flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{SrcIP: k.DstIP, DstIP: k.SrcIP, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// Flow extracts the 5-tuple of a decoded TCP or UDP packet. ok is false
+// when the frame has no transport layer.
+func (d *Decoded) Flow() (k FlowKey, ok bool) {
+	if !d.Has(LayerIPv4) {
+		return k, false
+	}
+	k.SrcIP = d.IP.Src
+	k.DstIP = d.IP.Dst
+	k.Proto = d.IP.Protocol
+	switch {
+	case d.Has(LayerTCP):
+		k.SrcPort = d.TCP.SrcPort
+		k.DstPort = d.TCP.DstPort
+	case d.Has(LayerUDP):
+		k.SrcPort = d.UDP.SrcPort
+		k.DstPort = d.UDP.DstPort
+	default:
+		return k, false
+	}
+	return k, true
+}

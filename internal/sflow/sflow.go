@@ -1,0 +1,165 @@
+// Package sflow models the sampling pipeline Planck replaces (§2.1): a
+// switch samples one-in-N packets, attaches metadata, and forwards the
+// samples through its control-plane CPU, which caps the achievable rate
+// (~300 samples/s on the paper's IBM G8264). A collector estimates flow
+// and link rates by multiplying sampled counts by N — accurate only when
+// aggregated over long windows, which is exactly the latency wall
+// motivating Planck.
+//
+// The package also implements the standard error model the paper quotes:
+// the relative error of a throughput estimate from s samples is
+// ≈ 196 * sqrt(1/s) percent (at 95% confidence).
+package sflow
+
+import (
+	"math"
+	"math/rand"
+
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// EstimateErrorPct returns the §2.1 rule-of-thumb percentage error of an
+// sFlow throughput estimate built from s samples.
+func EstimateErrorPct(s int64) float64 {
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	return 196 * math.Sqrt(1/float64(s))
+}
+
+// SamplesForErrorPct inverts EstimateErrorPct: how many samples a target
+// error requires.
+func SamplesForErrorPct(pct float64) int64 {
+	if pct <= 0 {
+		return math.MaxInt64
+	}
+	s := 196 / pct
+	return int64(math.Ceil(s * s))
+}
+
+// TimeToError returns how long a collector must aggregate to reach the
+// target error at a given sample rate — the "seconds or more" latency of
+// §2.1/Table 1.
+func TimeToError(pct float64, samplesPerSecond float64) units.Duration {
+	if samplesPerSecond <= 0 {
+		return units.Duration(math.MaxInt64)
+	}
+	need := float64(SamplesForErrorPct(pct))
+	return units.Duration(need / samplesPerSecond * float64(units.Second))
+}
+
+// Config models a switch's sFlow pipeline.
+type Config struct {
+	// SampleRate is N in one-in-N sampling.
+	SampleRate int
+	// ControlPlaneCap bounds samples per second through the switch CPU
+	// (the G8264 manages ~300/s, §2.1).
+	ControlPlaneCap float64
+}
+
+// DefaultG8264 reflects the paper's measurements.
+func DefaultG8264() Config {
+	return Config{SampleRate: 1024, ControlPlaneCap: 300}
+}
+
+// Sampler applies one-in-N selection and the control-plane cap. It is
+// driven with packet observations (timestamp + flow key + bytes) and
+// feeds a Collector.
+type Sampler struct {
+	cfg Config
+	rng *rand.Rand
+
+	// token bucket for the CPU cap
+	tokens  float64
+	lastRef units.Time
+
+	// Sampled and Suppressed count selected packets that passed or hit
+	// the CPU cap.
+	Sampled    int64
+	Suppressed int64
+
+	out func(t units.Time, key packet.FlowKey, wireLen int)
+}
+
+// NewSampler builds a sampler delivering samples to out.
+func NewSampler(cfg Config, rng *rand.Rand, out func(t units.Time, key packet.FlowKey, wireLen int)) *Sampler {
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = 1024
+	}
+	if cfg.ControlPlaneCap <= 0 {
+		cfg.ControlPlaneCap = 300
+	}
+	return &Sampler{cfg: cfg, rng: rng, tokens: cfg.ControlPlaneCap, out: out}
+}
+
+// Observe offers one forwarded packet to the sampler.
+func (s *Sampler) Observe(t units.Time, key packet.FlowKey, wireLen int) {
+	if s.rng.Intn(s.cfg.SampleRate) != 0 {
+		return
+	}
+	// Refill the CPU token bucket.
+	if t > s.lastRef {
+		s.tokens += t.Sub(s.lastRef).Seconds() * s.cfg.ControlPlaneCap
+		if s.tokens > s.cfg.ControlPlaneCap {
+			s.tokens = s.cfg.ControlPlaneCap
+		}
+		s.lastRef = t
+	}
+	if s.tokens < 1 {
+		s.Suppressed++
+		return
+	}
+	s.tokens--
+	s.Sampled++
+	s.out(t, key, wireLen)
+}
+
+// Collector aggregates sFlow samples into rate estimates by count
+// multiplication over a window.
+type Collector struct {
+	cfg     Config
+	start   units.Time
+	now     units.Time
+	byFlow  map[packet.FlowKey]int64 // sampled bytes
+	samples int64
+}
+
+// NewCollector builds an aggregating collector.
+func NewCollector(cfg Config) *Collector {
+	return &Collector{cfg: cfg, byFlow: make(map[packet.FlowKey]int64)}
+}
+
+// Add folds in one sample.
+func (c *Collector) Add(t units.Time, key packet.FlowKey, wireLen int) {
+	if c.samples == 0 {
+		c.start = t
+	}
+	c.now = t
+	c.samples++
+	c.byFlow[key] += int64(wireLen)
+}
+
+// Samples returns how many samples the window holds.
+func (c *Collector) Samples() int64 { return c.samples }
+
+// Window returns the aggregation window length.
+func (c *Collector) Window() units.Duration { return c.now.Sub(c.start) }
+
+// FlowRate estimates a flow's rate: sampled bytes x N / window.
+func (c *Collector) FlowRate(key packet.FlowKey) (units.Rate, bool) {
+	b, ok := c.byFlow[key]
+	if !ok || c.Window() <= 0 {
+		return 0, false
+	}
+	return units.RateOf(b*int64(c.cfg.SampleRate), c.Window()), true
+}
+
+// ErrorPct returns the current estimate's §2.1 error bound.
+func (c *Collector) ErrorPct() float64 { return EstimateErrorPct(c.samples) }
+
+// Reset clears the window.
+func (c *Collector) Reset() {
+	c.byFlow = make(map[packet.FlowKey]int64)
+	c.samples = 0
+}

@@ -1,0 +1,50 @@
+package sim
+
+import "planck/internal/units"
+
+// Callback adapts a plain function to the Handler interface for
+// non-hot-path scheduling (controller timers, experiment hooks). Packet
+// events in the data path should use dedicated handler types instead to
+// avoid per-event allocations.
+type Callback func(now units.Time)
+
+// Handle implements Handler.
+func (c Callback) Handle(now units.Time, _ *Packet) { c(now) }
+
+// Ticker invokes a function at a fixed period until stopped. It is used by
+// the polling-based traffic-engineering baselines and the collector's
+// poll-batching model.
+type Ticker struct {
+	eng    *Engine
+	period units.Duration
+	fn     func(now units.Time)
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period, first firing at now+period.
+func NewTicker(eng *Engine, period units.Duration, fn func(now units.Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.ev = eng.After(period, t, nil)
+	return t
+}
+
+// Handle implements Handler.
+func (t *Ticker) Handle(now units.Time, _ *Packet) {
+	if t.stop {
+		return
+	}
+	t.fn(now)
+	if !t.stop {
+		t.ev = t.eng.After(t.period, t, nil)
+	}
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.eng.Cancel(t.ev)
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"planck/internal/units"
+)
+
+type nopHandler struct{ n int }
+
+func (h *nopHandler) Handle(units.Time, *Packet) { h.n++ }
+
+// BenchmarkEngineScheduleDispatch measures raw event throughput — the
+// simulator's hot loop. The full workloads dispatch hundreds of millions
+// of events, so this number bounds experiment wall-clock.
+func BenchmarkEngineScheduleDispatch(b *testing.B) {
+	eng := New()
+	h := &nopHandler{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(units.Time(i), h, nil)
+		eng.Step()
+	}
+	if h.n != b.N {
+		b.Fatal("dispatch count")
+	}
+}
+
+// BenchmarkEngineHeapChurn exercises the heap with a realistic working
+// set of pending timers.
+func BenchmarkEngineHeapChurn(b *testing.B) {
+	eng := New()
+	h := &nopHandler{}
+	const pending = 4096
+	for i := 0; i < pending; i++ {
+		eng.Schedule(units.Time(i*1000), h, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(eng.Now().Add(units.Duration(pending*1000)), h, nil)
+		eng.Step()
+	}
+}
+
+// BenchmarkPacketPool measures pooled allocation round trips.
+func BenchmarkPacketPool(b *testing.B) {
+	eng := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := eng.NewPacket()
+		p.WireLen = 1514
+		eng.FreePacket(p)
+	}
+}
+
+// BenchmarkWireBytesTCP measures frame serialization at the collector
+// boundary (runs once per sampled packet).
+func BenchmarkWireBytesTCP(b *testing.B) {
+	eng := New()
+	p := eng.NewPacket()
+	p.Kind = KindTCP
+	p.PayloadLen = 1460
+	p.WireLen = 1514
+	buf := make([]byte, 2048)
+	b.ReportAllocs()
+	b.SetBytes(1514)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := p.WireBytes(buf)
+		buf = frame[:cap(frame)]
+	}
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// PacketKind discriminates the modelled traffic types.
+type PacketKind uint8
+
+// Packet kinds.
+const (
+	KindTCP PacketKind = iota
+	KindUDP
+	KindARP
+)
+
+// Packet is the simulator's in-flight unit. It carries the parsed header
+// fields the endpoints and switches act on; real wire bytes are produced
+// only at the collector boundary (see WireBytes), which keeps the hot path
+// cheap while still exercising the real codec on every sampled packet.
+//
+// Packets are pooled by the Engine: obtain with Engine.NewPacket, return
+// with Engine.FreePacket exactly once (mirror copies are separate pooled
+// clones).
+type Packet struct {
+	ID   uint64
+	Kind PacketKind
+
+	// L2
+	SrcMAC, DstMAC packet.MAC
+
+	// L3/L4 for TCP/UDP.
+	SrcIP, DstIP     packet.IPv4
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	TCPFlags         uint8
+	PayloadLen       int
+
+	// ARP body for KindARP.
+	ARP packet.ARP
+
+	// SACK carries selective-acknowledgment blocks in wire sequence
+	// space. The testbed's Linux stacks negotiate SACK; without it,
+	// window-scale loss bursts degrade into serial timeouts that the
+	// paper's near-line-rate workloads never show. The model lets an ACK
+	// describe the receiver's complete out-of-order state rather than
+	// RFC 2018's three blocks: real stacks converge to the same
+	// scoreboard within a few ACKs by rotating blocks, and modelling the
+	// rotation adds nothing but convergence noise. Blocks live on the
+	// packet struct and are not serialized into WireBytes; the collector
+	// never inspects TCP options.
+	SACK []SackBlock
+
+	// WireLen is the full frame length in bytes (L2 headers + payload,
+	// excluding preamble/IFG/FCS, which the Port adds when serializing).
+	WireLen int
+
+	// SentAt is when the sending host handed the packet to its NIC queue
+	// (the moment a tcpdump on the sender would stamp it).
+	SentAt units.Time
+
+	// EnteredSwitch is stamped by the first switch that enqueues the
+	// packet; mirror copies inherit it, giving the collector-side latency
+	// measurements their reference point.
+	EnteredSwitch units.Time
+
+	// Mirrored marks mirror copies.
+	Mirrored bool
+
+	// FlowID attributes the packet to a workload flow (-1 when unknown).
+	FlowID int32
+}
+
+// SackBlock is one SACK span in wire sequence numbers, [Start, End).
+type SackBlock struct {
+	Start, End uint32
+}
+
+var packetID uint64
+
+// NewPacket returns a zeroed packet from the pool.
+func (e *Engine) NewPacket() *Packet {
+	var p *Packet
+	if n := len(e.ppool); n > 0 {
+		p = e.ppool[n-1]
+		e.ppool = e.ppool[:n-1]
+		*p = Packet{}
+	} else {
+		p = &Packet{}
+	}
+	packetID++
+	p.ID = packetID
+	p.FlowID = -1
+	return p
+}
+
+// ClonePacket returns a pooled copy of p (used for mirror replication).
+func (e *Engine) ClonePacket(p *Packet) *Packet {
+	c := e.NewPacket()
+	id := c.ID
+	*c = *p
+	c.ID = id
+	return c
+}
+
+// FreePacket returns p to the pool. The caller must not use p afterwards.
+func (e *Engine) FreePacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	if len(e.ppool) < 65536 {
+		e.ppool = append(e.ppool, p)
+	}
+}
+
+// TCPHeaderBytes is the fixed per-segment header overhead the host model
+// uses when sizing frames: Ethernet(14) + IPv4(20) + TCP(20).
+const TCPHeaderBytes = packet.EthernetHeaderLen + packet.IPv4MinHeaderLen + packet.TCPMinHeaderLen
+
+// UDPHeaderBytes is Ethernet(14) + IPv4(20) + UDP(8).
+const UDPHeaderBytes = packet.EthernetHeaderLen + packet.IPv4MinHeaderLen + packet.UDPHeaderLen
+
+// WireBytes serializes the packet into a real Ethernet frame using buf as
+// scratch (grown as needed) and returns the frame. The output parses back
+// with packet.Decoded and has valid checksums, so collectors and pcap
+// dumps operate on genuine wire bytes.
+func (p *Packet) WireBytes(buf []byte) []byte {
+	switch p.Kind {
+	case KindARP:
+		return packet.BuildARP(buf, packet.ARPSpec{
+			SrcMAC: p.SrcMAC, DstMAC: p.DstMAC,
+			Op:        p.ARP.Op,
+			SenderMAC: p.ARP.SenderMAC, SenderIP: p.ARP.SenderIP,
+			TargetMAC: p.ARP.TargetMAC, TargetIP: p.ARP.TargetIP,
+		})
+	case KindUDP:
+		return packet.BuildUDP(buf, packet.UDPSpec{
+			SrcMAC: p.SrcMAC, DstMAC: p.DstMAC,
+			SrcIP: p.SrcIP, DstIP: p.DstIP,
+			SrcPort: p.SrcPort, DstPort: p.DstPort,
+			PayloadLen: p.PayloadLen,
+			Seq:        p.Seq,
+			HasSeq:     p.PayloadLen >= 4,
+		})
+	default:
+		return packet.BuildTCP(buf, packet.TCPSpec{
+			SrcMAC: p.SrcMAC, DstMAC: p.DstMAC,
+			SrcIP: p.SrcIP, DstIP: p.DstIP,
+			SrcPort: p.SrcPort, DstPort: p.DstPort,
+			Seq: p.Seq, Ack: p.Ack,
+			Flags:      p.TCPFlags,
+			PayloadLen: p.PayloadLen,
+		})
+	}
+}
+
+// FlowKey returns the transport 5-tuple of a TCP/UDP packet.
+func (p *Packet) FlowKey() packet.FlowKey {
+	proto := packet.IPProtocolTCP
+	if p.Kind == KindUDP {
+		proto = packet.IPProtocolUDP
+	}
+	return packet.FlowKey{
+		SrcIP: p.SrcIP, DstIP: p.DstIP,
+		SrcPort: p.SrcPort, DstPort: p.DstPort,
+		Proto: proto,
+	}
+}

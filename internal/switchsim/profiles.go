@@ -1,0 +1,51 @@
+package switchsim
+
+import "planck/internal/units"
+
+// Profiles for the two switches the paper evaluates. Buffer constants
+// follow §5.1: the Broadcom Trident ASIC behind the G8264 has a 9 MB
+// shared pool of which a single congested port consumes up to ~4 MB
+// (alpha 0.8 reproduces that fixed point: q = 0.8*(9 MB - q) → 4 MB).
+// The monitor-port allocation is chosen so the congested-mirror sample
+// latency matches the measured medians (≈3.5 ms at 10 Gbps, Fig. 8):
+// 4 MiB / 10 Gbps ≈ 3.4 ms of queueing.
+//
+// The Pronto 3290 is a 1 Gbps, 48+4-port switch with a much smaller
+// buffer; its constants are set so the Fig. 8 1 Gbps median (just over
+// 6 ms) falls out: 768 KiB / 1 Gbps ≈ 6.3 ms.
+
+// ProfileG8264 returns the 10 Gbps IBM RackSwitch G8264 configuration
+// with n ports.
+func ProfileG8264(name string, n int) Config {
+	return Config{
+		Name:                name,
+		NumPorts:            n,
+		LineRate:            units.Rate10G,
+		SharedBufferBytes:   9 << 20,
+		PerPortReserveBytes: 20 << 10,
+		DTAlpha:             0.8,
+		MirrorBufferBytes:   4 << 20,
+	}
+}
+
+// ProfilePronto3290 returns the 1 Gbps Pronto 3290 configuration with n
+// ports.
+func ProfilePronto3290(name string, n int) Config {
+	return Config{
+		Name:                name,
+		NumPorts:            n,
+		LineRate:            units.Rate1G,
+		SharedBufferBytes:   4 << 20,
+		PerPortReserveBytes: 16 << 10,
+		DTAlpha:             0.8,
+		MirrorBufferBytes:   768 << 10,
+	}
+}
+
+// MinBuffer returns a copy of cfg with the monitor-port buffering reduced
+// to a handful of packets — the firmware change §9.2 asks vendors for and
+// the "minbuffer" rows of Table 1 assume.
+func MinBuffer(cfg Config) Config {
+	cfg.MirrorBufferBytes = 3 * 1538
+	return cfg
+}

@@ -1,0 +1,39 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"planck/internal/sim"
+	"planck/internal/switchsim"
+	"planck/internal/units"
+)
+
+func TestDebugTwoFlows(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic only")
+	}
+	cfg := switchsim.ProfileG8264("sw", 0)
+	eng, hosts, sw := switched(t, 3, cfg)
+	c1, _ := hosts[0].StartFlow(0, ip(3), 5001, 64<<20, 1)
+	c2, _ := hosts[1].StartFlow(0, ip(3), 5002, 64<<20, 2)
+	var last1, last2 int64
+	sim.NewTicker(eng, units.Duration(10*units.Millisecond), func(now units.Time) {
+		d1, d2 := c1.una64-last1, c2.una64-last2
+		last1, last2 = c1.una64, c2.una64
+		t.Logf("t=%v r1=%.2fG r2=%.2fG rec1=%v rtx=%d/%d una1=%d rtxNext=%d recover=%d nsack=%d sack0=%v inflight=%d backlog=%d q=%.2fM drops=%d",
+			now, float64(d1)*8/1e7, float64(d2)*8/1e7,
+			c1.inRecov, c1.Retransmits, c2.Retransmits,
+			c1.una64, int64(len(c1.rtxDone)), c1.recover64, len(c1.sacked), first(c1.sacked),
+			c1.inflight(), hosts[0].txBacklog,
+			float64(sw.QueueBytes(2))/1e6, sw.DataDropped.Packets)
+	})
+	eng.RunUntil(units.Time(250 * units.Millisecond))
+	t.Logf("done1=%v done2=%v", c1.Completed, c2.Completed)
+}
+
+func first(s []span) span {
+	if len(s) == 0 {
+		return span{}
+	}
+	return s[0]
+}

@@ -1,0 +1,31 @@
+package tcpsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"planck/internal/sim"
+	"planck/internal/units"
+)
+
+// TestDebugTrace is a scratch diagnostic; it prints the sender's state
+// over time when run with -run TestDebugTrace -v.
+func TestDebugTrace(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic only")
+	}
+	eng := sim.New()
+	rng := rand.New(rand.NewSource(1))
+	a := NewHost(eng, "a", mac(1), ip(1), units.Rate10G, Config{}, rng)
+	b := NewHost(eng, "b", mac(2), ip(2), units.Rate10G, Config{}, rng)
+	sim.Connect(a.NIC(), b.NIC(), 500*units.Nanosecond)
+	a.SetNeighbor(ip(2), mac(2))
+	b.SetNeighbor(ip(1), mac(1))
+	c, _ := a.StartFlow(0, ip(2), 5001, 10<<20, 1)
+	sim.NewTicker(eng, units.Duration(5*units.Millisecond), func(now units.Time) {
+		t.Logf("t=%v acked=%d nxt=%d cwnd=%.0f ssthresh=%.0f inflight=%d dupacks=%d recov=%v rtx=%d to=%d nicdrop=%d niclen=%d srtt=%v",
+			now, c.una64, c.nxt64, c.cwnd, c.ssthresh, c.inflight(), c.dupacks, c.inRecov, c.Retransmits, c.Timeouts, a.NICDrops, a.nicQ.fifo.Len(), c.SRTT())
+	})
+	eng.RunUntil(units.Time(120 * units.Millisecond))
+	t.Logf("completed=%v", c.Completed)
+}

@@ -1,0 +1,434 @@
+// Package tcpsim models end hosts running a Reno-family TCP stack over a
+// single NIC. The model is segment-level and captures the behaviours the
+// paper's measurements hinge on:
+//
+//   - slow-start bursts separated by idle gaps (what makes naive
+//     microsecond rate estimates jitter, Fig. 10a, and what the burst
+//     clustering in the collector smooths, Fig. 10b);
+//   - ACK clocking and sender burstiness at 10 Gbps (Figs. 5–7);
+//   - loss response: dup-ACK fast retransmit/fast recovery and RTO, which
+//     produce the 99.9th-percentile latency inflation of Fig. 3;
+//   - kernel send/receive path latency, which is both the dominant term
+//     of the testbed's 180–250 µs RTT and the offset between a tcpdump
+//     timestamp and the wire (the paper's sample-latency measurements are
+//     explicitly "strict overestimates" for this reason, §5.2).
+//
+// Hosts also own an ARP cache with the two Linux behaviours §6.2 relies
+// on: MAC learning from unicast ARP requests, and a configurable
+// cache-entry lock time (the sysctl the authors had to relax).
+package tcpsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planck/internal/packet"
+	"planck/internal/sim"
+	"planck/internal/units"
+)
+
+// Config tunes the host model. Zero values are replaced by defaults
+// matching the paper's Linux 3.5 testbed.
+type Config struct {
+	// TxDelayMin/Max bound the uniformly distributed kernel send-path
+	// latency applied between the stack emitting a segment (the tcpdump
+	// stamp) and the NIC queue receiving it.
+	TxDelayMin, TxDelayMax units.Duration
+	// RxDelayMin/Max bound the receive-path latency between the NIC and
+	// the stack processing a packet.
+	RxDelayMin, RxDelayMax units.Duration
+	// MSS is the TCP maximum segment size in bytes.
+	MSS int
+	// InitialCwndSegments is the initial congestion window (IW10 on the
+	// testbed's Linux 3.5).
+	InitialCwndSegments int
+	// MinRTO and InitialRTO follow RFC 6298 with the Linux 200 ms floor.
+	MinRTO, InitialRTO units.Duration
+	// DelAckSegments is the number of full segments that trigger an
+	// immediate ACK; DelAckTimeout bounds how long an ACK may be held.
+	DelAckSegments int
+	DelAckTimeout  units.Duration
+	// ARPLockTime is how long an ARP cache entry resists updates after a
+	// change (Linux locks entries by default; the paper sets a sysctl to
+	// zero it, which is also the default here).
+	ARPLockTime units.Duration
+	// NICQueuePackets caps the NIC transmit queue. TCP senders treat the
+	// cap as backpressure (as Linux qdisc/BQL accounting does) and stop
+	// emitting data until the queue drains; non-TCP traffic that
+	// overruns the cap is tail-dropped.
+	NICQueuePackets int
+	// RWnd caps the amount of unacknowledged in-flight data a sender may
+	// have, modelling the receiver's advertised window.
+	RWnd int64
+	// CongestionControl selects "cubic" (the testbed's Linux default;
+	// also the package default) or "reno".
+	CongestionControl string
+}
+
+// DefaultConfig returns the testbed-calibrated defaults.
+func DefaultConfig() Config {
+	return Config{
+		TxDelayMin:          50 * units.Microsecond,
+		TxDelayMax:          90 * units.Microsecond,
+		RxDelayMin:          20 * units.Microsecond,
+		RxDelayMax:          40 * units.Microsecond,
+		MSS:                 1460,
+		InitialCwndSegments: 10,
+		MinRTO:              200 * units.Millisecond,
+		InitialRTO:          1000 * units.Millisecond,
+		DelAckSegments:      2,
+		// Linux's delayed-ACK timeout adapts down to TCP_ATO_MIN scale on
+		// fast LANs; 4 ms approximates the testbed's effective ATO.
+		DelAckTimeout:     4 * units.Millisecond,
+		ARPLockTime:       0,
+		NICQueuePackets:   1000,
+		RWnd:              16 << 20,
+		CongestionControl: "cubic",
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.MSS == 0 {
+		c.MSS = d.MSS
+	}
+	if c.InitialCwndSegments == 0 {
+		c.InitialCwndSegments = d.InitialCwndSegments
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = d.MinRTO
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = d.InitialRTO
+	}
+	if c.DelAckSegments == 0 {
+		c.DelAckSegments = d.DelAckSegments
+	}
+	if c.DelAckTimeout == 0 {
+		c.DelAckTimeout = d.DelAckTimeout
+	}
+	if c.NICQueuePackets == 0 {
+		c.NICQueuePackets = d.NICQueuePackets
+	}
+	if c.RWnd == 0 {
+		c.RWnd = d.RWnd
+	}
+	if c.CongestionControl == "" {
+		c.CongestionControl = "cubic"
+	}
+	if c.TxDelayMax == 0 {
+		c.TxDelayMin, c.TxDelayMax = d.TxDelayMin, d.TxDelayMax
+	}
+	if c.RxDelayMax == 0 {
+		c.RxDelayMin, c.RxDelayMax = d.RxDelayMin, d.RxDelayMax
+	}
+}
+
+type arpEntry struct {
+	mac         packet.MAC
+	lockedUntil units.Time
+}
+
+type connKey struct {
+	remoteIP   uint32
+	remotePort uint16
+	localPort  uint16
+}
+
+// Host is an end host with one NIC and a TCP stack.
+type Host struct {
+	eng  *sim.Engine
+	name string
+	cfg  Config
+	rng  *rand.Rand
+
+	mac packet.MAC
+	ip  packet.IPv4
+
+	nic  *sim.Port
+	nicQ nicQueue
+
+	arp map[uint32]arpEntry
+
+	conns    map[connKey]*Conn
+	nextPort uint16
+
+	lastNICEnq units.Time // monotonic clamp for jittered tx delays
+	lastRxDone units.Time // monotonic clamp for jittered rx delays
+	txBacklog  int        // packets emitted but not yet on the wire
+
+	// OnSegmentSent observes every TCP segment the stack emits, at emit
+	// time (i.e., a sender-side tcpdump). Used by experiments needing
+	// ground-truth sender traces (Figs. 7, 11).
+	OnSegmentSent func(now units.Time, pkt *sim.Packet)
+
+	// OnARPUpdate observes ARP cache changes (used by reroute latency
+	// instrumentation).
+	OnARPUpdate func(now units.Time, ip packet.IPv4, mac packet.MAC)
+
+	// OnDelivered observes every packet the stack processes (after the
+	// receive path), i.e., a receiver-side tcpdump. The packet is only
+	// valid during the call.
+	OnDelivered func(now units.Time, pkt *sim.Packet)
+
+	// Accept decides whether to accept an incoming connection; nil
+	// accepts everything.
+	Accept func(k packet.FlowKey) bool
+
+	// NICDrops counts local transmit-queue overflow drops.
+	NICDrops int64
+
+	udpSink udpSinkFn
+
+	rxq rxQueue
+}
+
+// NewHost creates a host with one NIC at the given rate. The NIC port is
+// unconnected; wire it with sim.Connect.
+func NewHost(eng *sim.Engine, name string, mac packet.MAC, ip packet.IPv4, nicRate units.Rate, cfg Config, rng *rand.Rand) *Host {
+	cfg.fillDefaults()
+	if rng == nil {
+		panic("tcpsim: NewHost requires a deterministic rng")
+	}
+	h := &Host{
+		eng:      eng,
+		name:     name,
+		cfg:      cfg,
+		rng:      rng,
+		mac:      mac,
+		ip:       ip,
+		arp:      make(map[uint32]arpEntry),
+		conns:    make(map[connKey]*Conn),
+		nextPort: 10000,
+	}
+	h.nic = sim.NewPort(eng, h, 0, nicRate)
+	h.nicQ.h = h
+	h.nic.SetSource(&h.nicQ)
+	h.rxq.h = h
+	return h
+}
+
+// Name implements sim.Node.
+func (h *Host) Name() string { return h.name }
+
+// NIC returns the host's port.
+func (h *Host) NIC() *sim.Port { return h.nic }
+
+// MAC returns the host's hardware address.
+func (h *Host) MAC() packet.MAC { return h.mac }
+
+// IP returns the host's address.
+func (h *Host) IP() packet.IPv4 { return h.ip }
+
+// Config returns the host configuration after defaulting.
+func (h *Host) Config() Config { return h.cfg }
+
+// SetNeighbor installs a static ARP entry (the lab pre-populates these,
+// as the testbed did).
+func (h *Host) SetNeighbor(ip packet.IPv4, mac packet.MAC) {
+	h.arp[ip.U32()] = arpEntry{mac: mac}
+}
+
+// LookupNeighbor returns the current MAC for ip.
+func (h *Host) LookupNeighbor(ip packet.IPv4) (packet.MAC, bool) {
+	e, ok := h.arp[ip.U32()]
+	return e.mac, ok
+}
+
+// txDelay samples the kernel send-path latency.
+func (h *Host) txDelay() units.Duration {
+	return jitter(h.rng, h.cfg.TxDelayMin, h.cfg.TxDelayMax)
+}
+
+func (h *Host) rxDelay() units.Duration {
+	return jitter(h.rng, h.cfg.RxDelayMin, h.cfg.RxDelayMax)
+}
+
+func jitter(rng *rand.Rand, lo, hi units.Duration) units.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + units.Duration(rng.Int63n(int64(hi-lo)))
+}
+
+// txBacklog is the number of packets the stack has emitted that have not
+// yet left the NIC (kernel pipeline + NIC queue). TCP data transmission
+// pauses while it meets the queue cap.
+func (h *Host) txBacklogFull() bool { return h.txBacklog >= h.cfg.NICQueuePackets }
+
+// sendPacket stamps pkt and moves it through the modelled kernel send path
+// into the NIC queue, preserving FIFO order despite jitter.
+func (h *Host) sendPacket(now units.Time, pkt *sim.Packet) {
+	pkt.SentAt = now
+	if h.OnSegmentSent != nil && pkt.Kind == sim.KindTCP {
+		h.OnSegmentSent(now, pkt)
+	}
+	h.txBacklog++
+	at := now.Add(h.txDelay())
+	if at < h.lastNICEnq {
+		at = h.lastNICEnq
+	}
+	h.lastNICEnq = at
+	h.eng.Schedule(at, &h.nicQ, pkt)
+}
+
+// nicQueue is the NIC transmit queue; it doubles as the Handler for
+// send-path-delay completion events.
+type nicQueue struct {
+	h    *Host
+	fifo sim.Fifo
+}
+
+// Handle implements sim.Handler: the segment has traversed the kernel and
+// reaches the NIC queue. TCP respects backpressure upstream and never
+// overruns; anything else (e.g. an unthrottled CBR source) tail-drops.
+func (q *nicQueue) Handle(now units.Time, pkt *sim.Packet) {
+	if pkt.Kind != sim.KindTCP && q.fifo.Len() >= q.h.cfg.NICQueuePackets {
+		q.h.NICDrops++
+		q.h.txBacklog--
+		q.h.eng.FreePacket(pkt)
+		return
+	}
+	q.fifo.Enqueue(pkt)
+	q.h.nic.Kick(now)
+}
+
+// Dequeue implements sim.Outbound: the wire consumed a packet, so the
+// backlog shrinks; senders blocked on backpressure get another turn.
+// SentAt is restamped here because this is where a sender-side tcpdump
+// observes the packet — Linux packet taps run after the qdisc, so queue
+// wait does not count toward measured sample latency (§5.2 measures from
+// this stamp and notes it still overestimates slightly).
+func (q *nicQueue) Dequeue(now units.Time) *sim.Packet {
+	pkt := q.fifo.Dequeue(now)
+	if pkt != nil {
+		pkt.SentAt = now
+		q.h.txBacklog--
+		if q.h.txBacklog == q.h.cfg.NICQueuePackets-1 {
+			q.h.kickBlockedSenders(now)
+		}
+	}
+	return pkt
+}
+
+// kickBlockedSenders lets connections with pending data resume after NIC
+// backpressure eases.
+func (h *Host) kickBlockedSenders(now units.Time) {
+	for _, c := range h.conns {
+		if !c.Completed && c.flowSize > 0 && c.state == stateEstablished {
+			if c.inRecov {
+				c.recoverySend(now, 2)
+			} else {
+				c.trySend(now)
+			}
+		}
+	}
+}
+
+// Receive implements sim.Node: NIC receive, deferred by the kernel
+// receive path before the stack processes it.
+func (h *Host) Receive(now units.Time, _ *sim.Port, pkt *sim.Packet) {
+	at := now.Add(h.rxDelay())
+	if at < h.lastRxDone {
+		at = h.lastRxDone
+	}
+	h.lastRxDone = at
+	h.eng.Schedule(at, &h.rxq, pkt)
+}
+
+// rxQueue is the Handler for receive-path-delay completion.
+type rxQueue struct{ h *Host }
+
+// Handle implements sim.Handler.
+func (q *rxQueue) Handle(now units.Time, pkt *sim.Packet) {
+	q.h.process(now, pkt)
+}
+
+// process is the host stack demultiplexer.
+func (h *Host) process(now units.Time, pkt *sim.Packet) {
+	defer h.eng.FreePacket(pkt)
+	if h.OnDelivered != nil {
+		h.OnDelivered(now, pkt)
+	}
+	switch pkt.Kind {
+	case sim.KindARP:
+		h.processARP(now, &pkt.ARP)
+	case sim.KindTCP:
+		h.processTCP(now, pkt)
+	case sim.KindUDP:
+		// UDP sinks just count; see udp.go.
+		if h.udpSink != nil {
+			h.udpSink(now, pkt)
+		}
+	}
+}
+
+// processARP implements the Linux behaviours §6.2 depends on: a unicast
+// ARP request updates (learns) the sender mapping, subject to the lock
+// time.
+func (h *Host) processARP(now units.Time, a *packet.ARP) {
+	if a.TargetIP != h.ip {
+		return
+	}
+	key := a.SenderIP.U32()
+	e, ok := h.arp[key]
+	if ok && e.mac == a.SenderMAC {
+		return // no change
+	}
+	if ok && now.Before(e.lockedUntil) {
+		return // locked: spurious update ignored
+	}
+	h.arp[key] = arpEntry{mac: a.SenderMAC, lockedUntil: now.Add(h.cfg.ARPLockTime)}
+	if h.OnARPUpdate != nil {
+		h.OnARPUpdate(now, a.SenderIP, a.SenderMAC)
+	}
+}
+
+func (h *Host) processTCP(now units.Time, pkt *sim.Packet) {
+	key := connKey{remoteIP: pkt.SrcIP.U32(), remotePort: pkt.SrcPort, localPort: pkt.DstPort}
+	c, ok := h.conns[key]
+	if !ok {
+		if pkt.TCPFlags&packet.TCPSyn == 0 || pkt.TCPFlags&packet.TCPAck != 0 {
+			return // no connection and not a connection attempt
+		}
+		if h.Accept != nil {
+			fk := pkt.FlowKey()
+			if !h.Accept(fk) {
+				return
+			}
+		}
+		c = h.acceptConn(now, key, pkt)
+	}
+	c.segmentArrived(now, pkt)
+}
+
+// allocPort hands out an ephemeral local port.
+func (h *Host) allocPort() uint16 {
+	for {
+		p := h.nextPort
+		h.nextPort++
+		if h.nextPort < 10000 {
+			h.nextPort = 10000
+		}
+		// Ports must be unique per (remote) tuple; a global uniqueness
+		// scan is cheap at our connection counts.
+		inUse := false
+		for k := range h.conns {
+			if k.localPort == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+}
+
+// Conns returns the host's connections (read-only use).
+func (h *Host) Conns() map[connKey]*Conn { return h.conns }
+
+// String implements fmt.Stringer.
+func (h *Host) String() string {
+	return fmt.Sprintf("host %s (%s, %s)", h.name, h.mac, h.ip)
+}

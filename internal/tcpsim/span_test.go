@@ -1,0 +1,122 @@
+package tcpsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSpanSet is an oracle implementation over a byte bitmap.
+type naiveSpanSet map[int64]bool
+
+func (n naiveSpanSet) add(start, end int64) {
+	for i := start; i < end; i++ {
+		n[i] = true
+	}
+}
+
+func (n naiveSpanSet) covered(off int64) bool { return n[off] }
+
+// TestAddSpanMatchesOracle fuzzes addSpan against a bitmap oracle.
+func TestAddSpanMatchesOracle(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var spans []span
+		oracle := naiveSpanSet{}
+		const universe = 200
+		for i := 0; i < int(steps); i++ {
+			start := rng.Int63n(universe)
+			end := start + 1 + rng.Int63n(20)
+			spans = addSpan(spans, start, end)
+			oracle.add(start, end)
+			// Invariants: sorted, disjoint, non-empty.
+			for j := range spans {
+				if spans[j].start >= spans[j].end {
+					return false
+				}
+				if j > 0 && spans[j-1].end > spans[j].start {
+					return false
+				}
+			}
+			// Coverage equivalence.
+			for off := int64(0); off < universe+25; off++ {
+				_, got := spanCovering(spans, off)
+				if got != oracle.covered(off) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSpanMergesAdjacent(t *testing.T) {
+	var s []span
+	s = addSpan(s, 0, 10)
+	s = addSpan(s, 10, 20) // touching: must merge
+	if len(s) != 1 || s[0] != (span{0, 20}) {
+		t.Fatalf("spans %v", s)
+	}
+	s = addSpan(s, 30, 40)
+	s = addSpan(s, 15, 35) // bridges both
+	if len(s) != 1 || s[0] != (span{0, 40}) {
+		t.Fatalf("spans %v", s)
+	}
+}
+
+func TestAddSpanIgnoresEmpty(t *testing.T) {
+	var s []span
+	s = addSpan(s, 5, 5)
+	s = addSpan(s, 7, 3)
+	if len(s) != 0 {
+		t.Fatalf("spans %v", s)
+	}
+}
+
+func TestPruneSpans(t *testing.T) {
+	s := []span{{0, 10}, {20, 30}, {40, 50}}
+	s = pruneSpans(s, 25)
+	if len(s) != 2 || s[0] != (span{25, 30}) || s[1] != (span{40, 50}) {
+		t.Fatalf("spans %v", s)
+	}
+	s = pruneSpans(s, 100)
+	if len(s) != 0 {
+		t.Fatalf("spans %v", s)
+	}
+}
+
+// TestOOOInsertRecencyOrder verifies insertOOO's move-to-back contract,
+// which attachSACK depends on for RFC 2018 block ordering.
+func TestOOOInsertRecencyOrder(t *testing.T) {
+	c := &Conn{}
+	c.insertOOO(100, 200)
+	c.insertOOO(300, 400)
+	c.insertOOO(500, 600)
+	// Touch the first span: it must move to the back.
+	c.insertOOO(150, 250)
+	if len(c.ooo) != 3 {
+		t.Fatalf("ooo %v", c.ooo)
+	}
+	last := c.ooo[len(c.ooo)-1]
+	if last.start != 100 || last.end != 250 {
+		t.Fatalf("most recent span %v", last)
+	}
+}
+
+func TestDrainOOOAbsorbsChains(t *testing.T) {
+	c := &Conn{}
+	c.insertOOO(10, 20)
+	c.insertOOO(20, 30)
+	c.insertOOO(35, 40)
+	c.rcv64 = 10
+	c.drainOOO()
+	if c.rcv64 != 30 {
+		t.Fatalf("rcv64 %d", c.rcv64)
+	}
+	if len(c.ooo) != 1 || c.ooo[0] != (span{35, 40}) {
+		t.Fatalf("ooo %v", c.ooo)
+	}
+}

@@ -1,0 +1,32 @@
+package te
+
+import (
+	"testing"
+
+	"planck/internal/sim"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+func TestDebugTE(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic only")
+	}
+	l := collide(t, 11)
+	app := NewPlanckTE(l.Ctrl, DefaultPlanckTEConfig())
+	c1, _ := l.Hosts[0].StartFlow(0, topo.HostIP(8), 5001, 64<<20, 1)
+	c2, _ := l.Hosts[4].StartFlow(0, topo.HostIP(9), 5002, 64<<20, 2)
+	var l1, l2 int64
+	sim.NewTicker(l.Eng, units.Duration(5*units.Millisecond), func(now units.Time) {
+		d1, d2 := c1.BytesAcked()-l1, c2.BytesAcked()-l2
+		l1, l2 = c1.BytesAcked(), c2.BytesAcked()
+		m1, _ := l.Hosts[0].LookupNeighbor(topo.HostIP(8))
+		m2, _ := l.Hosts[4].LookupNeighbor(topo.HostIP(9))
+		_, t1, _ := topo.TreeOfMAC(m1)
+		_, t2, _ := topo.TreeOfMAC(m2)
+		t.Logf("t=%v r1=%.2fG r2=%.2fG tree1=%d tree2=%d reroutes=%d events=%d view=%d to=%d/%d",
+			now, float64(d1)*8/5e6, float64(d2)*8/5e6, t1, t2,
+			app.Reroutes, app.EventsHandled, app.ViewSize(), c1.Timeouts, c2.Timeouts)
+	})
+	l.Run(100 * units.Millisecond)
+}

@@ -1,0 +1,39 @@
+package te
+
+import (
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// Demand estimation, Hedera-style: a flow's measured rate understates
+// what it *wants* whenever it is sitting behind a collision — placing
+// flows by measured rate makes congested links look half empty and the
+// greedy router piles more flows onto them. The natural demand of a
+// bulk TCP flow is its max-min fair share of its endpoints' NICs:
+// LineRate divided by the larger of (flows sharing its source NIC,
+// flows sharing its destination NIC). For the paper's workloads this
+// equals Hedera's iterative estimator's fixed point.
+type endpointCounts struct {
+	src map[uint32]int
+	dst map[uint32]int
+}
+
+func newEndpointCounts() *endpointCounts {
+	return &endpointCounts{src: make(map[uint32]int), dst: make(map[uint32]int)}
+}
+
+func (e *endpointCounts) add(k packet.FlowKey) {
+	e.src[k.SrcIP.U32()]++
+	e.dst[k.DstIP.U32()]++
+}
+
+func (e *endpointCounts) demand(k packet.FlowKey, line units.Rate) units.Rate {
+	n := e.src[k.SrcIP.U32()]
+	if d := e.dst[k.DstIP.U32()]; d > n {
+		n = d
+	}
+	if n <= 1 {
+		return line
+	}
+	return line / units.Rate(n)
+}

@@ -1,0 +1,309 @@
+// Package te implements the paper's traffic-engineering application
+// (§6.2) and the baselines it is evaluated against (§7.1):
+//
+//   - PlanckTE: event-driven greedy rerouting over pre-installed
+//     shadow-MAC alternate paths (Algorithm 1), actuated by spoofed ARP
+//     or OpenFlow rewrite, with a flow timeout to expunge stale state;
+//   - Global First Fit polling at a fixed interval (Poll-1s, Poll-0.1s),
+//     emulating Hedera-style schemes that read switch flow counters;
+//   - Static (PAST only) needs no code: simply run no TE.
+package te
+
+import (
+	"planck/internal/controller"
+	"planck/internal/core"
+	"planck/internal/packet"
+	"planck/internal/sim"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// Actuator selects the rerouting mechanism of §6.2.
+type Actuator int
+
+// Actuators.
+const (
+	ActuateARP Actuator = iota
+	ActuateOpenFlow
+)
+
+// PlanckTEConfig tunes the application.
+type PlanckTEConfig struct {
+	// FlowTimeout expunges flows not heard of recently (§6.2 uses 3 ms,
+	// approximately the latency of rerouting a flow).
+	FlowTimeout units.Duration
+	// MoveCooldown prevents flapping: a flow is not rerouted again until
+	// this long after its last move (covers the in-flight actuation and
+	// the controller's settle period, §4.1).
+	MoveCooldown units.Duration
+	// MinFlowRate excludes traffic below this estimated rate from the
+	// network view — pure-ACK reverse streams estimate ≈0 b/s (their
+	// sequence numbers never advance) but would otherwise count as flows
+	// in the demand estimator and halve every real flow's demand.
+	MinFlowRate units.Rate
+	// ViewRefresh is the period of the collector-query loop that keeps
+	// the network view complete. Congestion events only describe links
+	// above the utilization threshold; flows crushed onto quiet links
+	// would otherwise be invisible (their links look free) and never be
+	// re-engineered. The paper's controller exposes exactly this query
+	// API (§3.3).
+	ViewRefresh units.Duration
+	// Actuate picks ARP (default) or OpenFlow rewriting.
+	Actuate Actuator
+}
+
+// DefaultPlanckTEConfig matches §7.1.
+func DefaultPlanckTEConfig() PlanckTEConfig {
+	return PlanckTEConfig{
+		FlowTimeout: 3 * units.Millisecond,
+		// Long enough for the ARP to land, the abandoned path's queue to
+		// drain, and the flow's reordering transient to settle before the
+		// flow may move again.
+		MoveCooldown: 10 * units.Millisecond,
+		MinFlowRate:  10 * units.Mbps,
+		ViewRefresh:  units.Millisecond,
+		Actuate:      ActuateARP,
+	}
+}
+
+// flowView is the controller-side record of one flow (Algorithm 1's
+// network state).
+type flowView struct {
+	key       packet.FlowKey
+	src, dst  int // host indices
+	tree      int
+	rate      units.Rate // latest measured rate (reporting)
+	demand    units.Rate // estimated natural demand (placement)
+	lastHeard units.Time
+	lastMoved units.Time
+}
+
+// PlanckTE is the event-driven traffic engineer.
+type PlanckTE struct {
+	ctrl *controller.Controller
+	cfg  PlanckTEConfig
+	net  *topo.Network
+
+	view map[packet.FlowKey]*flowView
+
+	// Reroutes counts route-change actuations issued.
+	Reroutes int64
+	// EventsHandled counts congestion notifications processed.
+	EventsHandled int64
+}
+
+// NewPlanckTE attaches the application to a controller's event stream
+// and starts its view-refresh query loop.
+func NewPlanckTE(ctrl *controller.Controller, cfg PlanckTEConfig) *PlanckTE {
+	if cfg.FlowTimeout == 0 {
+		cfg = DefaultPlanckTEConfig()
+	}
+	t := &PlanckTE{
+		ctrl: ctrl,
+		cfg:  cfg,
+		net:  ctrl.Network(),
+		view: make(map[packet.FlowKey]*flowView),
+	}
+	ctrl.Subscribe(t.onCongestion)
+	if cfg.ViewRefresh > 0 {
+		sim.NewTicker(ctrl.Engine(), cfg.ViewRefresh, t.refreshView)
+	}
+	return t
+}
+
+// refreshView queries every collector's flow table (§3.3's statistics
+// API), folds fresh entries into the network view — preferring the most
+// recently sampled routing label per flow — and re-engineers flows whose
+// current path is overloaded by demand but whose links are too quiet to
+// fire events.
+func (t *PlanckTE) refreshView(now units.Time) {
+	type obs struct {
+		fi   core.FlowInfo
+		seen units.Time
+	}
+	// Only a flow's ingress edge switch is on every alternate path, so
+	// its collector reports the flow's routing label unambiguously and in
+	// FIFO order; collectors on an abandoned path keep sampling the old
+	// label while their mirror queue drains. Labels therefore come only
+	// from the ingress edge.
+	best := make(map[packet.FlowKey]obs)
+	for s := 0; s < t.net.NumSwitches(); s++ {
+		col := t.ctrl.Collector(s)
+		if col == nil {
+			continue
+		}
+		col.Flows(func(fs *core.FlowState) {
+			if now.Sub(fs.LastSeen) > t.cfg.FlowTimeout {
+				return
+			}
+			src, ok := topo.HostOfIP(fs.Key.SrcIP)
+			if !ok || src < 0 || src >= t.net.NumHosts() || t.net.Hosts[src].Switch != s {
+				return
+			}
+			rate, ok := fs.Rate()
+			if !ok {
+				return
+			}
+			if b, have := best[fs.Key]; !have || fs.LastSeen > b.seen {
+				best[fs.Key] = obs{
+					fi:   core.FlowInfo{Key: fs.Key, DstMAC: fs.DstMAC, Rate: rate},
+					seen: fs.LastSeen,
+				}
+			}
+		})
+	}
+	for _, o := range best {
+		t.updateFlow(now, o.fi)
+	}
+	t.expire(now)
+	t.refreshDemands()
+	for _, fv := range t.view {
+		if t.pathBottleneck(fv.src, fv.dst, fv.tree, fv) < 0 {
+			t.greedyRouteFlow(now, fv)
+		}
+	}
+}
+
+// onCongestion implements Algorithm 1's process_cong_ntfy.
+func (t *PlanckTE) onCongestion(ev core.CongestionEvent) {
+	t.EventsHandled++
+	now := ev.Time
+
+	// Update network state from the notification's flow annotations.
+	var eventFlows []*flowView
+	for _, fi := range ev.Flows {
+		fv := t.updateFlow(now, fi)
+		if fv != nil {
+			eventFlows = append(eventFlows, fv)
+		}
+	}
+	t.expire(now)
+
+	// Refresh demand estimates over the whole view (placement must use
+	// what flows want, not what collisions currently let them send).
+	t.refreshDemands()
+
+	// Greedily reroute each flow in the notification.
+	for _, fv := range eventFlows {
+		t.greedyRouteFlow(now, fv)
+	}
+}
+
+// refreshDemands recomputes each viewed flow's natural demand.
+func (t *PlanckTE) refreshDemands() {
+	counts := newEndpointCounts()
+	for _, fv := range t.view {
+		counts.add(fv.key)
+	}
+	for _, fv := range t.view {
+		fv.demand = counts.demand(fv.key, t.net.LineRate)
+	}
+}
+
+// updateFlow folds a flow annotation into the view, returning nil for
+// flows that cannot be attributed to hosts (non-data traffic).
+func (t *PlanckTE) updateFlow(now units.Time, fi core.FlowInfo) *flowView {
+	if fi.Rate < t.cfg.MinFlowRate {
+		return nil // ACK streams and mice play no part in engineering
+	}
+	src, ok := topo.HostOfIP(fi.Key.SrcIP)
+	if !ok || src < 0 || src >= t.net.NumHosts() {
+		return nil
+	}
+	dst, tree, ok := topo.TreeOfMAC(fi.DstMAC)
+	if !ok || tree >= t.net.NumTrees || dst < 0 || dst >= t.net.NumHosts() || dst == src {
+		return nil
+	}
+	fv := t.view[fi.Key]
+	if fv == nil {
+		fv = &flowView{key: fi.Key, src: src, dst: dst, lastMoved: -1 << 62}
+		t.view[fi.Key] = fv
+	}
+	// Collectors on a flow's old path keep reporting its previous routing
+	// label for a freshness window after a reroute. Within the move
+	// cooldown the controller trusts its own action over annotations —
+	// this is the §4.1 settling discipline; without it the stale labels
+	// make the greedy router flap.
+	if now.Sub(fv.lastMoved) >= t.cfg.MoveCooldown {
+		fv.tree = tree
+	}
+	fv.rate = fi.Rate
+	fv.lastHeard = now
+	return fv
+}
+
+// expire implements remove_old_flows.
+func (t *PlanckTE) expire(now units.Time) {
+	for k, fv := range t.view {
+		if now.Sub(fv.lastHeard) > t.cfg.FlowTimeout {
+			delete(t.view, k)
+		}
+	}
+}
+
+// linkLoad sums the estimated demands of flows (other than skip) whose
+// current path crosses the link; it is evaluated lazily per link.
+func (t *PlanckTE) linkLoad(l topo.LinkID, skip *flowView) units.Rate {
+	var load units.Rate
+	for _, fv := range t.view {
+		if fv == skip {
+			continue
+		}
+		for _, fl := range t.net.PathFor(fv.src, fv.dst, fv.tree) {
+			if fl == l {
+				load += fv.demand
+				break
+			}
+		}
+	}
+	return load
+}
+
+// pathBottleneck is DevoFlow's find_path_btlneck: the minimum residual
+// capacity along the path, ignoring the flow being placed. Residuals are
+// allowed to go negative so the greedy step can still prefer a
+// 2-flow link over a 3-flow link when nothing is free.
+func (t *PlanckTE) pathBottleneck(src, dst, tree int, skip *flowView) units.Rate {
+	btl := t.net.LineRate
+	for _, l := range t.net.PathFor(src, dst, tree) {
+		residual := t.net.LineRate - t.linkLoad(l, skip)
+		if residual < btl {
+			btl = residual
+		}
+	}
+	return btl
+}
+
+// greedyRouteFlow implements Algorithm 1's greedy_route_flow: take the
+// alternate path with the strictly largest expected bottleneck capacity.
+func (t *PlanckTE) greedyRouteFlow(now units.Time, fv *flowView) {
+	if now.Sub(fv.lastMoved) < t.cfg.MoveCooldown {
+		return
+	}
+	bestTree := fv.tree
+	bestBtl := t.pathBottleneck(fv.src, fv.dst, fv.tree, fv)
+	for tree := 0; tree < t.net.NumTrees; tree++ {
+		if tree == fv.tree {
+			continue
+		}
+		if btl := t.pathBottleneck(fv.src, fv.dst, tree, fv); btl > bestBtl {
+			bestTree = tree
+			bestBtl = btl
+		}
+	}
+	if bestTree == fv.tree {
+		return
+	}
+	fv.tree = bestTree
+	fv.lastMoved = now
+	t.Reroutes++
+	switch t.cfg.Actuate {
+	case ActuateOpenFlow:
+		t.ctrl.RerouteOF(now, fv.key, fv.src, fv.dst, bestTree)
+	default:
+		t.ctrl.RerouteARP(now, fv.src, fv.dst, bestTree)
+	}
+}
+
+// ViewSize reports the number of live flows in the network view.
+func (t *PlanckTE) ViewSize() int { return len(t.view) }

@@ -1,0 +1,153 @@
+package te
+
+import (
+	"testing"
+
+	"planck/internal/lab"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// collide builds a fat-tree where hosts 0 and 4 send to pod 2 on the same
+// initial tree, guaranteeing a shared bottleneck.
+func collide(t *testing.T, seed int64) *lab.Lab {
+	t.Helper()
+	net := topo.FatTree16(units.Rate10G)
+	trees := make([]int, 16) // all destinations on tree 0
+	l, err := lab.New(lab.Options{Net: net, Mirror: true, Seed: seed, InitialTrees: trees})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestPlanckTEResolvesCollision(t *testing.T) {
+	// Baseline: no TE. Both flows share tree 0's core path.
+	base := collide(t, 11)
+	b1, _ := base.Hosts[0].StartFlow(0, topo.HostIP(8), 5001, 64<<20, 1)
+	b2, _ := base.Hosts[4].StartFlow(0, topo.HostIP(9), 5002, 64<<20, 2)
+	base.Run(2 * units.Duration(units.Second))
+	if !b1.Completed || !b2.Completed {
+		t.Fatal("baseline incomplete")
+	}
+	baseAgg := b1.Goodput().Gigabits() + b2.Goodput().Gigabits()
+
+	// With PlanckTE one flow should move to a disjoint core within
+	// milliseconds, and both approach line rate.
+	l := collide(t, 11)
+	app := NewPlanckTE(l.Ctrl, DefaultPlanckTEConfig())
+	c1, _ := l.Hosts[0].StartFlow(0, topo.HostIP(8), 5001, 64<<20, 1)
+	c2, _ := l.Hosts[4].StartFlow(0, topo.HostIP(9), 5002, 64<<20, 2)
+	l.Run(2 * units.Duration(units.Second))
+	if !c1.Completed || !c2.Completed {
+		t.Fatalf("TE run incomplete: %v %v", c1.BytesAcked(), c2.BytesAcked())
+	}
+	if app.Reroutes == 0 {
+		t.Fatal("PlanckTE never rerouted")
+	}
+	if app.EventsHandled == 0 {
+		t.Fatal("no congestion events reached the TE app")
+	}
+	teAgg := c1.Goodput().Gigabits() + c2.Goodput().Gigabits()
+	if teAgg < baseAgg*1.25 {
+		t.Fatalf("TE aggregate %.2f vs baseline %.2f: no improvement", teAgg, baseAgg)
+	}
+	// With the collision resolved, both flows should run near line rate.
+	if c1.Goodput().Gigabits() < 6 || c2.Goodput().Gigabits() < 6 {
+		t.Fatalf("post-TE goodputs %.2f / %.2f", c1.Goodput().Gigabits(), c2.Goodput().Gigabits())
+	}
+}
+
+func TestPlanckTEOpenFlowActuation(t *testing.T) {
+	l := collide(t, 13)
+	cfg := DefaultPlanckTEConfig()
+	cfg.Actuate = ActuateOpenFlow
+	app := NewPlanckTE(l.Ctrl, cfg)
+	c1, _ := l.Hosts[0].StartFlow(0, topo.HostIP(8), 5001, 32<<20, 1)
+	c2, _ := l.Hosts[4].StartFlow(0, topo.HostIP(9), 5002, 32<<20, 2)
+	l.Run(2 * units.Duration(units.Second))
+	if !c1.Completed || !c2.Completed {
+		t.Fatal("incomplete")
+	}
+	if app.Reroutes == 0 {
+		t.Fatal("no OF reroutes")
+	}
+	if l.Ctrl.OFReroutes == 0 || l.Ctrl.ARPReroutes != 0 {
+		t.Fatalf("actuator mix: OF=%d ARP=%d", l.Ctrl.OFReroutes, l.Ctrl.ARPReroutes)
+	}
+}
+
+func TestPlanckTEFastReaction(t *testing.T) {
+	// Fig. 15: flow 2 joins a steady flow 1; detection + reroute must
+	// land within a few ms, and flow 1 must keep its rate (no loss).
+	l := collide(t, 17)
+	NewPlanckTE(l.Ctrl, DefaultPlanckTEConfig())
+	c1, _ := l.Hosts[0].StartFlow(0, topo.HostIP(8), 5001, 1<<30, 1)
+	// Let flow 1 reach steady state, then start flow 2.
+	l.Run(100 * units.Millisecond)
+	pre := c1.BytesAcked()
+	_ = pre
+	c2, _ := l.Hosts[4].StartFlow(l.Eng.Now(), topo.HostIP(9), 5002, 1<<30, 2)
+	startedAt := l.Eng.Now()
+	// Run 60 ms more; by then the reroute long since happened and both
+	// flows should be pumping at near line rate simultaneously.
+	win := 60 * units.Millisecond
+	a1, a2 := c1.BytesAcked(), c2.BytesAcked()
+	l.Eng.RunUntil(startedAt.Add(win))
+	r1 := units.RateOf(c1.BytesAcked()-a1, win).Gigabits()
+	r2 := units.RateOf(c2.BytesAcked()-a2, win).Gigabits()
+	if r1+r2 < 14 {
+		t.Fatalf("concurrent rates %.2f + %.2f Gbps: collision not resolved", r1, r2)
+	}
+	// Flow 1 must not have suffered a timeout (its rate never collapsed).
+	if c1.Timeouts != 0 {
+		t.Fatalf("flow 1 hit %d RTOs", c1.Timeouts)
+	}
+}
+
+func TestGFFPollerReroutes(t *testing.T) {
+	l := collide(t, 19)
+	g := NewGFF(l.Ctrl, GFFConfig{Interval: 100 * units.Millisecond})
+	c1, _ := l.Hosts[0].StartFlow(0, topo.HostIP(8), 5001, 256<<20, 1)
+	c2, _ := l.Hosts[4].StartFlow(0, topo.HostIP(9), 5002, 256<<20, 2)
+	l.Run(3 * units.Duration(units.Second))
+	g.Stop()
+	if !c1.Completed || !c2.Completed {
+		t.Fatal("incomplete")
+	}
+	if g.Polls < 3 {
+		t.Fatalf("polls %d", g.Polls)
+	}
+	if g.Reroutes == 0 {
+		t.Fatal("GFF never rerouted the colliding flows")
+	}
+	// 256 MiB each over >= 100 ms of collision then parallel paths: both
+	// should finish far faster than a serial share would allow.
+	if c1.Goodput().Gigabits()+c2.Goodput().Gigabits() < 10 {
+		t.Fatalf("aggregate %.2f", c1.Goodput().Gigabits()+c2.Goodput().Gigabits())
+	}
+}
+
+func TestGFFIgnoresMice(t *testing.T) {
+	l := collide(t, 23)
+	g := NewGFF(l.Ctrl, GFFConfig{Interval: 50 * units.Millisecond})
+	// A 1 MiB mouse every interval stays under 10% of line rate.
+	l.Hosts[0].StartFlow(0, topo.HostIP(8), 5001, 1<<20, 1)
+	l.Run(500 * units.Millisecond)
+	g.Stop()
+	if g.Reroutes != 0 {
+		t.Fatalf("GFF rerouted a mouse flow %d times", g.Reroutes)
+	}
+}
+
+func TestPlanckTEIgnoresUnknownFlows(t *testing.T) {
+	// Events whose flows cannot be attributed (foreign MACs) must not
+	// crash or pollute the view.
+	l := collide(t, 29)
+	app := NewPlanckTE(l.Ctrl, DefaultPlanckTEConfig())
+	l.Hosts[0].StartFlow(0, topo.HostIP(8), 5001, 16<<20, 1)
+	l.Run(500 * units.Millisecond)
+	if app.ViewSize() > 4 {
+		t.Fatalf("view grew to %d", app.ViewSize())
+	}
+}

@@ -1,0 +1,143 @@
+package topo
+
+import (
+	"fmt"
+
+	"planck/internal/units"
+)
+
+// Fat-tree layout constants for the paper's 16-host testbed (a k=4
+// three-tier fat-tree of 5-port logical switches).
+const (
+	ftPods          = 4
+	ftEdgesPerPod   = 2
+	ftAggsPerPod    = 2
+	ftHostsPerEdge  = 2
+	ftCores         = 4
+	ftHosts         = 16
+	ftMonitorPort   = 4 // the fifth port on every logical switch
+	ftSwitchPorts   = 5
+	ftNumEdges      = ftPods * ftEdgesPerPod
+	ftNumAggs       = ftPods * ftAggsPerPod
+	ftEdgeBase      = 0
+	ftAggBase       = ftNumEdges
+	ftCoreBase      = ftNumEdges + ftNumAggs
+	ftTotalSwitches = ftCoreBase + ftCores
+)
+
+func edgeID(pod, e int) int { return ftEdgeBase + pod*ftEdgesPerPod + e }
+func aggID(pod, a int) int  { return ftAggBase + pod*ftAggsPerPod + a }
+func coreID(c int) int      { return ftCoreBase + c }
+
+// Edge switch ports: 0,1 -> hosts; 2,3 -> agg 0,1; 4 monitor.
+// Agg switch ports:  0,1 -> edge 0,1; 2,3 -> cores (agg a of any pod
+// connects cores 2a and 2a+1); 4 monitor.
+// Core switch ports: 0..3 -> pods 0..3 (via agg c/2 in each); 4 monitor.
+
+// FatTree16 builds the paper's 16-host fat-tree with four routing trees,
+// one per core switch. Tree c routes inter-pod traffic through core c and
+// intra-pod traffic through aggregation switch c/2, giving four
+// edge-disjoint inter-pod paths per destination.
+func FatTree16(rate units.Rate) *Network {
+	n := &Network{
+		Name:        "fattree16",
+		LineRate:    rate,
+		SwitchNames: make([]string, ftTotalSwitches),
+		Ports:       make([][]Endpoint, ftTotalSwitches),
+		Hosts:       make([]Attach, ftHosts),
+		MonitorPort: make([]int, ftTotalSwitches),
+		NumTrees:    ftCores,
+	}
+	for s := range n.Ports {
+		n.Ports[s] = make([]Endpoint, ftSwitchPorts)
+		n.MonitorPort[s] = ftMonitorPort
+		n.Ports[s][ftMonitorPort] = Endpoint{Kind: ToMonitor}
+	}
+	for p := 0; p < ftPods; p++ {
+		for e := 0; e < ftEdgesPerPod; e++ {
+			n.SwitchNames[edgeID(p, e)] = fmt.Sprintf("edge%d.%d", p, e)
+		}
+		for a := 0; a < ftAggsPerPod; a++ {
+			n.SwitchNames[aggID(p, a)] = fmt.Sprintf("agg%d.%d", p, a)
+		}
+	}
+	for c := 0; c < ftCores; c++ {
+		n.SwitchNames[coreID(c)] = fmt.Sprintf("core%d", c)
+	}
+
+	// Hosts onto edges.
+	for h := 0; h < ftHosts; h++ {
+		pod := h / (ftEdgesPerPod * ftHostsPerEdge)
+		e := (h / ftHostsPerEdge) % ftEdgesPerPod
+		port := h % ftHostsPerEdge
+		sw := edgeID(pod, e)
+		n.Hosts[h] = Attach{Switch: sw, Port: port}
+		n.Ports[sw][port] = Endpoint{Kind: ToHost, Host: h}
+	}
+	// Edge <-> agg.
+	for p := 0; p < ftPods; p++ {
+		for e := 0; e < ftEdgesPerPod; e++ {
+			for a := 0; a < ftAggsPerPod; a++ {
+				wire(n, edgeID(p, e), 2+a, aggID(p, a), e)
+			}
+		}
+	}
+	// Agg <-> core: agg a connects cores 2a and 2a+1 on ports 2 and 3;
+	// core c reaches pod p on port p.
+	for p := 0; p < ftPods; p++ {
+		for a := 0; a < ftAggsPerPod; a++ {
+			for i := 0; i < 2; i++ {
+				wire(n, aggID(p, a), 2+i, coreID(2*a+i), p)
+			}
+		}
+	}
+
+	buildFatTreeRoutes(n)
+	return n
+}
+
+func wire(n *Network, s1, p1, s2, p2 int) {
+	n.Ports[s1][p1] = Endpoint{Kind: ToSwitch, Switch: s2, Port: p2}
+	n.Ports[s2][p2] = Endpoint{Kind: ToSwitch, Switch: s1, Port: p1}
+}
+
+func buildFatTreeRoutes(n *Network) {
+	n.routes = make([][][]int, n.NumTrees)
+	for c := 0; c < n.NumTrees; c++ {
+		n.routes[c] = make([][]int, ftHosts)
+		a := c / 2    // aggregation index used by tree c in every pod
+		up := 2 + c%2 // agg port toward core c
+		for d := 0; d < ftHosts; d++ {
+			r := make([]int, ftTotalSwitches)
+			for i := range r {
+				r[i] = -1
+			}
+			dpod := d / (ftEdgesPerPod * ftHostsPerEdge)
+			dedge := (d / ftHostsPerEdge) % ftEdgesPerPod
+			dport := d % ftHostsPerEdge
+
+			// Destination edge delivers to the host.
+			r[edgeID(dpod, dedge)] = dport
+			// Every other edge sends up to agg a of its own pod.
+			for p := 0; p < ftPods; p++ {
+				for e := 0; e < ftEdgesPerPod; e++ {
+					if p == dpod && e == dedge {
+						continue
+					}
+					r[edgeID(p, e)] = 2 + a
+				}
+			}
+			// Destination pod's agg a sends down to the destination edge.
+			r[aggID(dpod, a)] = dedge
+			// Other pods' agg a sends up to core c.
+			for p := 0; p < ftPods; p++ {
+				if p != dpod {
+					r[aggID(p, a)] = up
+				}
+			}
+			// Core c sends down to the destination pod.
+			r[coreID(c)] = dpod
+			n.routes[c][d] = r
+		}
+	}
+}

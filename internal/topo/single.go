@@ -1,0 +1,45 @@
+package topo
+
+import (
+	"fmt"
+
+	"planck/internal/units"
+)
+
+// SingleSwitch builds an n-host single-switch topology. When withMonitor
+// is true, one extra port is the monitor port (the configuration of every
+// §5 microbenchmark); otherwise the topology is the paper's "Optimal"
+// non-blocking baseline, where all 16 hosts share one 64-port switch.
+// There is exactly one routing tree since paths are unique.
+func SingleSwitch(name string, nHosts int, rate units.Rate, withMonitor bool) *Network {
+	if nHosts <= 0 {
+		panic(fmt.Sprintf("topo: SingleSwitch with %d hosts", nHosts))
+	}
+	ports := nHosts
+	monitor := -1
+	if withMonitor {
+		monitor = nHosts
+		ports++
+	}
+	n := &Network{
+		Name:        name,
+		LineRate:    rate,
+		SwitchNames: []string{name},
+		Ports:       [][]Endpoint{make([]Endpoint, ports)},
+		Hosts:       make([]Attach, nHosts),
+		MonitorPort: []int{monitor},
+		NumTrees:    1,
+	}
+	for h := 0; h < nHosts; h++ {
+		n.Hosts[h] = Attach{Switch: 0, Port: h}
+		n.Ports[0][h] = Endpoint{Kind: ToHost, Host: h}
+	}
+	if withMonitor {
+		n.Ports[0][monitor] = Endpoint{Kind: ToMonitor}
+	}
+	n.routes = [][][]int{make([][]int, nHosts)}
+	for d := 0; d < nHosts; d++ {
+		n.routes[0][d] = []int{d}
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"planck/internal/units"
+)
+
+func TestFatTreeShape(t *testing.T) {
+	n := FatTree16(units.Rate10G)
+	if n.NumSwitches() != 20 {
+		t.Fatalf("switches %d", n.NumSwitches())
+	}
+	if n.NumHosts() != 16 {
+		t.Fatalf("hosts %d", n.NumHosts())
+	}
+	if n.NumTrees != 4 {
+		t.Fatalf("trees %d", n.NumTrees)
+	}
+	for s := 0; s < n.NumSwitches(); s++ {
+		if len(n.Ports[s]) != 5 {
+			t.Fatalf("switch %d has %d ports", s, len(n.Ports[s]))
+		}
+		if n.MonitorPort[s] != 4 {
+			t.Fatalf("switch %d monitor %d", s, n.MonitorPort[s])
+		}
+		if n.Ports[s][4].Kind != ToMonitor {
+			t.Fatalf("switch %d port 4 kind %v", s, n.Ports[s][4].Kind)
+		}
+	}
+}
+
+func TestFatTreeWiringIsSymmetric(t *testing.T) {
+	n := FatTree16(units.Rate10G)
+	for s := range n.Ports {
+		for p, ep := range n.Ports[s] {
+			if ep.Kind != ToSwitch {
+				continue
+			}
+			back := n.Ports[ep.Switch][ep.Port]
+			if back.Kind != ToSwitch || back.Switch != s || back.Port != p {
+				t.Fatalf("asymmetric wiring s%d:p%d -> s%d:p%d -> %+v", s, p, ep.Switch, ep.Port, back)
+			}
+		}
+	}
+}
+
+func TestFatTreeHostAttachment(t *testing.T) {
+	n := FatTree16(units.Rate10G)
+	seen := map[Attach]bool{}
+	for h := 0; h < 16; h++ {
+		at := n.Hosts[h]
+		if seen[at] {
+			t.Fatalf("host %d shares a port", h)
+		}
+		seen[at] = true
+		ep := n.Ports[at.Switch][at.Port]
+		if ep.Kind != ToHost || ep.Host != h {
+			t.Fatalf("host %d attach mismatch: %+v", h, ep)
+		}
+	}
+}
+
+// TestPathsValid checks every (src, dst, tree) path terminates at the
+// destination (PathFor panics internally on loops and dead ends).
+func TestPathsValid(t *testing.T) {
+	n := FatTree16(units.Rate10G)
+	for tree := 0; tree < n.NumTrees; tree++ {
+		for s := 0; s < 16; s++ {
+			for d := 0; d < 16; d++ {
+				if s == d {
+					continue
+				}
+				path := n.PathFor(s, d, tree)
+				if len(path) == 0 {
+					t.Fatalf("empty path %d->%d tree %d", s, d, tree)
+				}
+				// Last hop must deliver to the host.
+				lastHop := path[len(path)-1]
+				ep := n.Ports[lastHop.Switch][lastHop.Port]
+				if ep.Kind != ToHost || ep.Host != d {
+					t.Fatalf("path %d->%d tree %d ends at %+v", s, d, tree, ep)
+				}
+			}
+		}
+	}
+}
+
+func TestPathLengths(t *testing.T) {
+	n := FatTree16(units.Rate10G)
+	for tree := 0; tree < 4; tree++ {
+		// Same edge: one switch hop.
+		if got := len(n.PathFor(0, 1, tree)); got != 1 {
+			t.Fatalf("same-edge path len %d", got)
+		}
+		// Same pod, different edge: edge-agg-edge.
+		if got := len(n.PathFor(0, 2, tree)); got != 3 {
+			t.Fatalf("intra-pod path len %d", got)
+		}
+		// Inter-pod: edge-agg-core-agg-edge.
+		if got := len(n.PathFor(0, 8, tree)); got != 5 {
+			t.Fatalf("inter-pod path len %d", got)
+		}
+	}
+}
+
+// TestTreesAreCoreDisjoint: inter-pod paths under different trees must
+// not share any aggregation->core or core->aggregation link.
+func TestTreesAreCoreDisjoint(t *testing.T) {
+	n := FatTree16(units.Rate10G)
+	for s := 0; s < 4; s++ { // pod 0 hosts
+		for d := 8; d < 12; d++ { // pod 2 hosts
+			used := map[LinkID]int{}
+			for tree := 0; tree < 4; tree++ {
+				for _, l := range n.PathFor(s, d, tree) {
+					// Only count switch-to-switch links.
+					if n.Ports[l.Switch][l.Port].Kind == ToSwitch {
+						used[l]++
+					}
+				}
+			}
+			for l, cnt := range used {
+				// Edge uplinks are shared between tree pairs (two trees per
+				// agg); core links must be unique.
+				ep := n.Ports[l.Switch][l.Port]
+				if l.Switch >= ftCoreBase || ep.Switch >= ftCoreBase {
+					if cnt > 1 {
+						t.Fatalf("core link %v shared by %d trees", l, cnt)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShadowMACRoundTrip(t *testing.T) {
+	f := func(h uint8, tree uint8) bool {
+		host := int(h) % 1024
+		tr := int(tree) % 8
+		m := ShadowMAC(host, tr)
+		gh, gt, ok := TreeOfMAC(m)
+		return ok && gh == host && gt == tr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostIPRoundTrip(t *testing.T) {
+	for h := 0; h < 300; h++ {
+		got, ok := HostOfIP(HostIP(h))
+		if !ok || got != h {
+			t.Fatalf("host %d -> %v %v", h, got, ok)
+		}
+	}
+}
+
+func TestMACEntriesCoverAllTrees(t *testing.T) {
+	n := FatTree16(units.Rate10G)
+	// The destination edge switch must have entries for all 4 shadow MACs
+	// of its hosts.
+	edge := n.Hosts[0].Switch
+	entries := n.MACEntries(edge)
+	for tree := 0; tree < 4; tree++ {
+		if _, ok := entries[ShadowMAC(0, tree)]; !ok {
+			t.Fatalf("edge missing entry for host 0 tree %d", tree)
+		}
+	}
+	// A core switch only participates in its own tree.
+	core := coreID(2)
+	entries = n.MACEntries(core)
+	for d := 0; d < 16; d++ {
+		if _, ok := entries[ShadowMAC(d, 2)]; !ok {
+			t.Fatalf("core2 missing entry for host %d", d)
+		}
+		if _, ok := entries[ShadowMAC(d, 0)]; ok {
+			t.Fatalf("core2 has foreign-tree entry for host %d", d)
+		}
+	}
+}
+
+func TestEgressRewrites(t *testing.T) {
+	n := FatTree16(units.Rate10G)
+	edge := n.Hosts[5].Switch
+	rw := n.EgressRewrites(edge)
+	for tree := 1; tree < 4; tree++ {
+		real, ok := rw[ShadowMAC(5, tree)]
+		if !ok || real != ShadowMAC(5, 0) {
+			t.Fatalf("rewrite for host 5 tree %d: %v ok=%v", tree, real, ok)
+		}
+	}
+	// Base MACs must not be rewritten.
+	if _, ok := rw[ShadowMAC(5, 0)]; ok {
+		t.Fatal("base MAC has a rewrite rule")
+	}
+	// Hosts on other switches must not appear.
+	if _, ok := rw[ShadowMAC(0, 1)]; ok {
+		t.Fatal("foreign host in rewrite table")
+	}
+}
+
+func TestSingleSwitch(t *testing.T) {
+	n := SingleSwitch("sw", 16, units.Rate10G, true)
+	if n.NumSwitches() != 1 || n.NumHosts() != 16 {
+		t.Fatal("shape")
+	}
+	if n.MonitorPort[0] != 16 {
+		t.Fatalf("monitor port %d", n.MonitorPort[0])
+	}
+	if got := n.PathFor(0, 5, 0); len(got) != 1 || got[0] != (LinkID{Switch: 0, Port: 5}) {
+		t.Fatalf("path %+v", got)
+	}
+	n2 := SingleSwitch("opt", 16, units.Rate10G, false)
+	if n2.MonitorPort[0] != -1 {
+		t.Fatal("optimal topology should have no monitor port")
+	}
+}

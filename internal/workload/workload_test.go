@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"planck/internal/lab"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+func TestStridePattern(t *testing.T) {
+	flows := Stride(16, 8, 100)
+	if len(flows) != 16 {
+		t.Fatalf("%d flows", len(flows))
+	}
+	for i, f := range flows {
+		if f.Src != i || f.Dst != (i+8)%16 || f.Size != 100 {
+			t.Fatalf("flow %d: %+v", i, f)
+		}
+	}
+}
+
+func TestRandomBijectionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		flows := RandomBijection(16, 1, rng)
+		seenDst := map[int]bool{}
+		for _, f := range flows {
+			if f.Src == f.Dst {
+				t.Fatal("self-loop")
+			}
+			if seenDst[f.Dst] {
+				t.Fatal("dst repeated: not a bijection")
+			}
+			seenDst[f.Dst] = true
+		}
+	}
+}
+
+func TestRandomUniformNoSelfLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		for _, f := range RandomUniform(16, 1, rng) {
+			if f.Src == f.Dst {
+				t.Fatal("self-loop")
+			}
+			if f.Dst < 0 || f.Dst > 15 {
+				t.Fatalf("dst %d", f.Dst)
+			}
+		}
+	}
+}
+
+func TestStaggeredProbDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var edge, pod, other int
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		for _, f := range StaggeredProb(16, 1, 0.5, 0.3, rng) {
+			if f.Src == f.Dst {
+				t.Fatal("self-loop")
+			}
+			switch {
+			case f.Src/2 == f.Dst/2:
+				edge++
+			case f.Src/4 == f.Dst/4:
+				pod++
+			default:
+				other++
+			}
+		}
+	}
+	total := float64(edge + pod + other)
+	if e := float64(edge) / total; e < 0.45 || e > 0.55 {
+		t.Fatalf("edge fraction %.2f", e)
+	}
+	if p := float64(pod) / total; p < 0.25 || p > 0.35 {
+		t.Fatalf("pod fraction %.2f", p)
+	}
+}
+
+func TestRunSingleSwitchBijection(t *testing.T) {
+	net := topo.SingleSwitch("opt", 8, units.Rate10G, false)
+	l, err := lab.New(lab.Options{Net: net, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	flows := RandomBijection(8, 8<<20, rng)
+	res, err := Run(l, flows, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8 || res.Total != 8 {
+		t.Fatalf("completed %d/%d", res.Completed, res.Total)
+	}
+	// Non-blocking switch, one flow per host pair: each flow should be
+	// near line rate.
+	if g := res.AvgGoodput().Gigabits(); g < 5.5 {
+		t.Fatalf("avg goodput %.2f Gbps", g)
+	}
+	if res.Goodputs.N() != 8 || res.Durations.N() != 8 {
+		t.Fatal("sample counts")
+	}
+	if res.FinishedAt == 0 {
+		t.Fatal("no finish time")
+	}
+}
+
+func TestRunRejectsSelfLoop(t *testing.T) {
+	net := topo.SingleSwitch("opt", 4, units.Rate10G, false)
+	l, _ := lab.New(lab.Options{Net: net, Seed: 1})
+	if _, err := Run(l, []Flow{{Src: 1, Dst: 1, Size: 10}}, RunConfig{}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	net := topo.SingleSwitch("opt", 4, units.Rate10G, false)
+	l, _ := lab.New(lab.Options{Net: net, Seed: 1})
+	// A flow too large to finish within the timeout.
+	res, err := Run(l, []Flow{{Src: 0, Dst: 1, Size: 1 << 40}}, RunConfig{Timeout: 50 * units.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatal("impossible completion")
+	}
+	if l.Eng.Now() > units.Time(60*units.Millisecond) {
+		t.Fatalf("ran past timeout: %v", l.Eng.Now())
+	}
+}
+
+func TestShuffleSmall(t *testing.T) {
+	// 4-host shuffle on a non-blocking switch: 12 transfers, 2 at a time
+	// per host.
+	net := topo.SingleSwitch("opt", 4, units.Rate10G, false)
+	l, err := lab.New(lab.Options{Net: net, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	res, err := RunShuffle(l, 4<<20, 2, RunConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 12 {
+		t.Fatalf("completed %d/12", res.Completed)
+	}
+	if res.HostCompletion.N() != 4 {
+		t.Fatalf("host completions %d", res.HostCompletion.N())
+	}
+	// Every host's completion time must be at least 3 sequential-ish
+	// transfers' worth and positive.
+	if res.HostCompletion.Min() <= 0 {
+		t.Fatal("nonpositive completion time")
+	}
+}

@@ -1,0 +1,198 @@
+// Package planck is the public facade of this repository: a faithful Go
+// reproduction of "Planck: Millisecond-scale Monitoring and Control for
+// Commodity Networks" (SIGCOMM 2014).
+//
+// The package re-exports the pieces a downstream user composes:
+//
+//   - the collector (the paper's core contribution): feed it timestamped
+//     Ethernet frames from any source — a pcap file, a live stream, or
+//     the bundled simulator — and query flow rates, link utilization,
+//     and congestion events (NewCollector, ReplayPcap);
+//   - the rate estimator on its own, for embedding in other pipelines
+//     (NewRateEstimator);
+//   - the simulated testbed: switches with oversubscribed mirroring,
+//     TCP hosts, fat-tree topologies, an SDN controller, and the
+//     traffic-engineering application (NewFatTreeTestbed,
+//     NewSingleSwitchTestbed, AttachPlanckTE);
+//   - the experiment harnesses regenerating every table and figure in
+//     the paper's evaluation (package internal/experiments, surfaced
+//     through cmd/planck-bench).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package planck
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"planck/internal/core"
+	"planck/internal/lab"
+	"planck/internal/pcap"
+	"planck/internal/te"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// Re-exported core types.
+type (
+	// Collector consumes sampled frames and produces flow rates, link
+	// utilization, and congestion events.
+	Collector = core.Collector
+	// CollectorConfig tunes a Collector.
+	CollectorConfig = core.Config
+	// CongestionEvent is a threshold-crossing notification.
+	CongestionEvent = core.CongestionEvent
+	// FlowInfo annotates a flow inside an event.
+	FlowInfo = core.FlowInfo
+	// RateEstimator is the burst-clustered sequence-number estimator.
+	RateEstimator = core.RateEstimator
+
+	// Testbed is an assembled simulated network.
+	Testbed = lab.Lab
+	// TestbedOptions configures a Testbed.
+	TestbedOptions = lab.Options
+
+	// TrafficEngineer is the PlanckTE application.
+	TrafficEngineer = te.PlanckTE
+
+	// Time and Duration are virtual-clock quantities (int64 nanoseconds).
+	Time = units.Time
+	// Duration is a span of virtual time.
+	Duration = units.Duration
+	// Rate is a data rate in bits per second.
+	Rate = units.Rate
+)
+
+// Common rate constants.
+const (
+	Gbps = units.Gbps
+	Mbps = units.Mbps
+)
+
+// NewCollector builds a standalone collector. Feed it with
+// Collector.Ingest(timestamp, frame).
+func NewCollector(cfg CollectorConfig) *Collector { return core.New(cfg) }
+
+// NewRateEstimator returns an estimator with the paper's constants
+// (200 µs minimum burst gap, 700 µs maximum window).
+func NewRateEstimator() *RateEstimator { return core.NewRateEstimator() }
+
+// ReplayPcap streams a pcap file through a collector, returning the
+// number of frames ingested. Decode errors on individual frames are
+// counted by the collector and do not abort the replay.
+func ReplayPcap(r io.Reader, c *Collector) (int, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		_ = c.Ingest(rec.Time, rec.Data) // per-frame errors are counted in Stats
+		n++
+	}
+}
+
+// Live sample transport: one UDP datagram per sampled frame, prefixed by
+// an 8-byte big-endian nanosecond timestamp. This is the encapsulation a
+// capture shim (netmap, AF_PACKET, a switch CPU) uses to feed a remote
+// collector, mirroring the paper's collector-per-monitor-port deployment
+// without requiring raw-socket privileges.
+const sampleHeaderLen = 8
+
+// EncodeSample prepends the transport header to a frame.
+func EncodeSample(buf []byte, t Time, frame []byte) []byte {
+	need := sampleHeaderLen + len(frame)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	binary.BigEndian.PutUint64(buf[:8], uint64(t))
+	copy(buf[8:], frame)
+	return buf
+}
+
+// DecodeSample splits a datagram into timestamp and frame.
+func DecodeSample(dgram []byte) (Time, []byte, error) {
+	if len(dgram) < sampleHeaderLen {
+		return 0, nil, fmt.Errorf("planck: sample datagram %d bytes", len(dgram))
+	}
+	return Time(binary.BigEndian.Uint64(dgram[:8])), dgram[8:], nil
+}
+
+// ServeUDP ingests encapsulated samples from conn into the collector
+// until the connection is closed or maxSamples arrive (0 = unbounded).
+// It returns the number of samples ingested. Malformed datagrams and
+// per-frame decode errors are counted by the collector, not fatal.
+func ServeUDP(conn net.PacketConn, c *Collector, maxSamples int) (int, error) {
+	buf := make([]byte, 65536)
+	n := 0
+	for maxSamples == 0 || n < maxSamples {
+		ln, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if n > 0 {
+				return n, nil // closed after useful work
+			}
+			return n, err
+		}
+		t, frame, err := DecodeSample(buf[:ln])
+		if err != nil {
+			continue
+		}
+		_ = c.Ingest(t, frame)
+		n++
+	}
+	return n, nil
+}
+
+// NewFatTreeTestbed assembles the paper's 16-host, 20-switch fat-tree
+// with oversubscribed mirroring, one collector per switch, and the SDN
+// controller, all driven by a deterministic seed.
+func NewFatTreeTestbed(seed int64) (*Testbed, error) {
+	return lab.New(lab.Options{
+		Net:    topo.FatTree16(units.Rate10G),
+		Mirror: true,
+		Seed:   seed,
+	})
+}
+
+// NewSingleSwitchTestbed assembles an n-host single switch with a
+// monitor port — the configuration of every §5 microbenchmark.
+func NewSingleSwitchTestbed(hosts int, seed int64) (*Testbed, error) {
+	return lab.New(lab.Options{
+		Net:    topo.SingleSwitch("sw0", hosts, units.Rate10G, true),
+		Mirror: true,
+		Seed:   seed,
+	})
+}
+
+// NewTestbedWithRing is NewSingleSwitchTestbed with vantage-point sample
+// rings of ringPackets frames enabled on every collector (§6.1).
+func NewTestbedWithRing(hosts int, seed int64, ringPackets int) (*Testbed, error) {
+	return lab.New(lab.Options{
+		Net:             topo.SingleSwitch("sw0", hosts, units.Rate10G, true),
+		Mirror:          true,
+		Seed:            seed,
+		CollectorConfig: core.Config{RingPackets: ringPackets},
+	})
+}
+
+// AttachPlanckTE starts the traffic-engineering application (§6.2) on a
+// testbed: greedy rerouting over shadow-MAC alternate paths, actuated by
+// spoofed ARP, driven by collector congestion events.
+func AttachPlanckTE(t *Testbed) *TrafficEngineer {
+	return te.NewPlanckTE(t.Ctrl, te.DefaultPlanckTEConfig())
+}
+
+// HostIP returns the address of testbed host h (hosts are numbered from
+// zero, contiguous within fat-tree pods).
+func HostIP(h int) [4]byte { return topo.HostIP(h) }
