@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-obs clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race-fast covers the packages with genuine concurrency (the obs
+# registry under concurrent observe/serve, the UDP transport) plus the
+# hot-path packages, in a few seconds.
+race-fast:
+	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/counters/ ./internal/sim/ ./internal/packet/ .
+
+# The experiments suite runs ~7 min uninstrumented; give the race
+# build room beyond go test's 10-minute default.
+race:
+	$(GO) test -race -timeout 60m ./...
+
+# check is the tier-1 gate: everything must compile, vet clean, and pass.
+check: vet build test race-fast
+
+# bench runs the per-figure testing.B targets once each.
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# bench-obs measures the observability layer's overhead budget (counter
+# increment ns/op, histogram observe, collector ingest bare vs
+# instrumented with allocs/op) into BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/planck-bench -obs-json BENCH_obs.json
+
+clean:
+	rm -f BENCH_obs.json
+	$(GO) clean ./...

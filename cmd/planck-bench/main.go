@@ -166,7 +166,16 @@ func main() {
 	sizesFlag := flag.String("sizes", "", "comma-separated flow sizes, e.g. 100MiB,1GiB")
 	durMs := flag.Int("duration-ms", 0, "per-run duration override in ms (0 = default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	obsJSON := flag.String("obs-json", "", "run the observability microbenchmarks, write JSON here (\"-\" = stdout), and exit")
 	flag.Parse()
+
+	if *obsJSON != "" {
+		if err := runObsBench(*obsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		ids := make([]string, 0, len(all))

@@ -9,6 +9,13 @@
 //	planck-collector -pcap capture.pcap
 //	planck-collector -pcap capture.pcap -threshold 0.8 -rate 10
 //	planck-collector -listen :5601 -max-samples 100000
+//	planck-collector -listen :5601 -metrics :9090 -stats-every 5s
+//
+// With -metrics, an HTTP endpoint serves /metrics (Prometheus text),
+// /debug/vars (JSON), and /debug/pprof/* for the full pipeline: samples,
+// decode errors, malformed datagrams, flow-table size, and per-stage
+// wall-clock timing histograms (decode, flow table, rate estimation,
+// utilization, event dispatch).
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"planck"
 	"planck/internal/core"
+	"planck/internal/obs"
 	"planck/internal/pcap"
 	"planck/internal/units"
 )
@@ -32,6 +40,8 @@ func main() {
 	rateG := flag.Float64("rate", 10, "link rate in Gbps for utilization math")
 	threshold := flag.Float64("threshold", 0.9, "congestion threshold fraction")
 	topFlows := flag.Int("top", 10, "flows to print")
+	metricsAddr := flag.String("metrics", "", "HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = off)")
+	statsEvery := flag.Duration("stats-every", 0, "period between one-line stats reports on stderr (0 = off)")
 	flag.Parse()
 
 	if (*pcapPath == "") == (*listen == "") {
@@ -40,13 +50,35 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := obs.NewRegistry()
 	col := core.New(core.Config{
 		SwitchName:    "collector",
 		LinkRate:      units.Rate(*rateG * float64(units.Gbps)),
 		UtilThreshold: *threshold,
+		Metrics:       reg,
 	})
 	events := 0
 	col.Subscribe(func(ev core.CongestionEvent) { events++ })
+
+	var udpStats planck.UDPServeStats
+	reg.GaugeFunc("planck_udp_samples_total", func() float64 { return float64(udpStats.Samples.Load()) })
+	reg.GaugeFunc("planck_udp_short_datagrams_total", func() float64 { return float64(udpStats.ShortDatagrams.Load()) })
+	reg.GaugeFunc("planck_udp_timestamp_regressions_total", func() float64 { return float64(udpStats.TimestampRegressions.Load()) })
+	reg.GaugeFunc("planck_udp_ingest_errors_total", func() float64 { return float64(udpStats.IngestErrors.Load()) })
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	if *statsEvery > 0 {
+		stop := reg.LogPeriodically(os.Stderr, *statsEvery)
+		defer stop()
+	}
 
 	frames := 0
 	if *listen != "" {
@@ -56,12 +88,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("listening on %s\n", conn.LocalAddr())
-		n, err := planck.ServeUDP(conn, col, *maxSamples)
+		n, err := planck.ServeUDPObserved(conn, col, *maxSamples, &udpStats)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		frames = n
+		if bad := udpStats.ShortDatagrams.Load() + udpStats.TimestampRegressions.Load() + udpStats.IngestErrors.Load(); bad > 0 {
+			fmt.Fprintf(os.Stderr, "malformed input: %d short datagrams, %d timestamp regressions, %d unparseable frames\n",
+				udpStats.ShortDatagrams.Load(), udpStats.TimestampRegressions.Load(), udpStats.IngestErrors.Load())
+		}
 	} else {
 		f, err := os.Open(*pcapPath)
 		if err != nil {
@@ -91,6 +127,10 @@ func main() {
 	st := col.Stats()
 	fmt.Printf("replayed %d frames: %d flows, %d rate updates, %d decode errors, %d non-TCP\n",
 		frames, st.Flows, st.RateUpdates, st.DecodeErrors, st.NonTCP)
+	if tm := col.IngestTimings(); tm != nil && tm.N() > 0 {
+		fmt.Printf("ingest wall time: p50=%.0fns p99=%.0fns over %d samples\n",
+			tm.Median(), tm.Quantile(0.99), tm.N())
+	}
 
 	type row struct {
 		key  string

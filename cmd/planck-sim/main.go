@@ -4,6 +4,12 @@
 // Usage:
 //
 //	planck-sim -workload stride -scheme planckte -size 100MiB -seed 7
+//	planck-sim -workload shuffle -metrics :9090 -stats-every 2s
+//
+// With -metrics, the testbed's registry — engine vitals, controller
+// actuation delays, per-collector pipeline timings, and per-switch
+// sample-latency histograms — is served over HTTP (/metrics,
+// /debug/vars, /debug/pprof) while the simulation runs.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"strings"
 
 	"planck/internal/experiments"
+	"planck/internal/obs"
 	"planck/internal/units"
 )
 
@@ -23,6 +30,8 @@ func main() {
 	sizeStr := flag.String("size", "100MiB", "per-flow transfer size")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	timeoutS := flag.Int("timeout-s", 120, "virtual-time timeout in seconds")
+	metricsAddr := flag.String("metrics", "", "HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = off)")
+	statsEvery := flag.Duration("stats-every", 0, "period between one-line stats reports on stderr (0 = off)")
 	flag.Parse()
 
 	kinds := map[string]experiments.WorkloadKind{
@@ -55,7 +64,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := experiments.RunWorkload(kind, sch, size, *seed,
+	l, cleanup, err := experiments.SchemeLab(sch, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cleanup()
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, l.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	if *statsEvery > 0 {
+		stop := l.Metrics.LogPeriodically(os.Stderr, *statsEvery)
+		defer stop()
+	}
+
+	res := experiments.RunWorkloadOn(l, kind, size, *seed,
 		units.Duration(*timeoutS)*units.Duration(units.Second))
 
 	fmt.Printf("workload=%s scheme=%s size=%s seed=%d\n", kind, sch, units.BytesString(size), *seed)

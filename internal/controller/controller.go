@@ -74,6 +74,8 @@ type Controller struct {
 	ARPReroutes int64
 	OFReroutes  int64
 	Events      int64
+
+	met *ctrlMetrics
 }
 
 // New creates a controller over an assembled data plane. The switches and
@@ -90,6 +92,7 @@ func New(eng *sim.Engine, net *topo.Network, switches []*switchsim.Switch, hosts
 		switches:   switches,
 		hosts:      hosts,
 		collectors: make([]*core.Collector, len(switches)),
+		met:        newCtrlMetrics(),
 	}
 	return c
 }
@@ -188,7 +191,9 @@ func (c *Controller) RerouteARP(now units.Time, srcHost, dstHost, tree int) {
 	if c.OnReroute != nil {
 		c.OnReroute(now, packet.FlowKey{}, srcHost, dstHost, tree, true)
 	}
-	at := now.Add(c.delay(c.cfg.ArpDelayMin, c.cfg.ArpDelayMax))
+	d := c.delay(c.cfg.ArpDelayMin, c.cfg.ArpDelayMax)
+	c.met.observe(true, d)
+	at := now.Add(d)
 	c.eng.Schedule(at, sim.Callback(func(fire units.Time) {
 		attach := c.net.Hosts[srcHost]
 		sw := c.switches[attach.Switch]
@@ -216,7 +221,9 @@ func (c *Controller) RerouteOF(now units.Time, flow packet.FlowKey, srcHost, dst
 	if c.OnReroute != nil {
 		c.OnReroute(now, flow, srcHost, dstHost, tree, false)
 	}
-	at := now.Add(c.delay(c.cfg.OFDelayMin, c.cfg.OFDelayMax))
+	d := c.delay(c.cfg.OFDelayMin, c.cfg.OFDelayMax)
+	c.met.observe(false, d)
+	at := now.Add(d)
 	c.eng.Schedule(at, sim.Callback(func(fire units.Time) {
 		attach := c.net.Hosts[srcHost]
 		sw := c.switches[attach.Switch]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"planck/internal/obs"
 	"planck/internal/packet"
 	"planck/internal/units"
 )
@@ -42,13 +43,26 @@ type Config struct {
 	// TrackRetransmits enables the §3.2.2 extension inferring per-flow
 	// retransmission rates from duplicate sequence numbers.
 	TrackRetransmits bool
-	// UDPSeqOffset, when >= 0, treats the four payload bytes at that
-	// offset of UDP datagrams as a big-endian application packet counter
-	// and estimates UDP flow throughput from it (§3.2.2's
-	// generalization). -0 is offset zero; the zero value disables — set
-	// UDPSeqEnabled to use offset 0.
+	// UDPSeqEnabled gates §3.2.2's generalization to UDP: when true, the
+	// collector treats four payload bytes of each UDP datagram as a
+	// big-endian application packet counter and estimates UDP flow
+	// throughput from it. UDPSeqOffset is the byte offset of that
+	// counter within the UDP payload (0 means the first payload byte);
+	// it is ignored while UDPSeqEnabled is false.
 	UDPSeqEnabled bool
 	UDPSeqOffset  int
+	// Metrics, when non-nil, registers the collector's self-monitoring
+	// instruments (counters, flow-table gauge, per-stage pipeline
+	// histograms) into the registry, labelled with SwitchName, and
+	// enables stage timing. With a nil registry the counters still run
+	// (readable through Stats) but cost only a few uncontended atomic
+	// adds per sample and zero allocations.
+	Metrics *obs.Registry
+	// StageTiming enables wall-clock per-stage pipeline timing without
+	// (or in addition to) a registry. Timing reads the monotonic clock
+	// ~6 times per sample; it never affects simulation determinism,
+	// only telemetry.
+	StageTiming bool
 }
 
 func (c *Config) fillDefaults() {
@@ -110,7 +124,9 @@ type CongestionEvent struct {
 	Flows      []FlowInfo
 }
 
-// Stats aggregates collector counters.
+// Stats aggregates collector counters. It is a snapshot view over the
+// collector's obs instruments, kept for embedders that want a plain
+// struct instead of a metrics registry.
 type Stats struct {
 	Samples        int64 // frames ingested
 	DecodeErrors   int64
@@ -142,7 +158,7 @@ type Collector struct {
 
 	now units.Time
 
-	stats Stats
+	met collectorMetrics
 }
 
 // New creates a collector.
@@ -151,6 +167,10 @@ func New(cfg Config) *Collector {
 	c := &Collector{
 		cfg:   cfg,
 		flows: make(map[packet.FlowKey]*FlowState),
+	}
+	c.met.init(cfg.StageTiming || cfg.Metrics != nil)
+	if cfg.Metrics != nil {
+		c.register(cfg.Metrics)
 	}
 	if cfg.NumPorts > 0 {
 		c.portFlows = make([][]*FlowState, cfg.NumPorts)
@@ -182,9 +202,17 @@ func (c *Collector) SubscribeFlowBoundaries(fn func(t units.Time, key packet.Flo
 
 // Stats returns a snapshot of the collector's counters. OutOfOrder is
 // aggregated across live flow estimators, so it can shrink when idle
-// flows are expired.
+// flows are expired (the registry's out_of_order_total counter is the
+// monotonic variant).
 func (c *Collector) Stats() Stats {
-	s := c.stats
+	s := Stats{
+		Samples:        c.met.samples.Value(),
+		DecodeErrors:   c.met.decodeErrors.Value(),
+		NonTCP:         c.met.nonTCP.Value(),
+		RateUpdates:    c.met.rateUpdates.Value(),
+		EventsEmitted:  c.met.events.Value(),
+		UnmappedOutput: c.met.unmapped.Value(),
+	}
 	s.Flows = len(c.flows)
 	for _, f := range c.flows {
 		s.OutOfOrder += f.Est.OOO
@@ -199,24 +227,43 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, c.now)
 	}
 	c.now = t
-	c.stats.Samples++
+	c.met.samples.Inc()
 	if c.ring != nil {
 		c.ring.Push(t, frame)
 	}
+	timed := c.met.timed
+	var start, t0 int64
+	if timed {
+		start = obs.Nanos()
+		t0 = start
+	}
 	if err := c.dec.Decode(frame); err != nil {
+		if timed {
+			now := obs.Nanos()
+			c.met.stageDecode.Observe(now - t0)
+			c.met.ingest.Observe(now - start)
+		}
 		// ARP and other non-IP traffic still lands in the ring; it just
 		// carries no sequence stream to estimate from.
 		if c.dec.Has(packet.LayerARP) {
-			c.stats.NonTCP++
+			c.met.nonTCP.Inc()
 			return nil
 		}
-		c.stats.DecodeErrors++
+		c.met.decodeErrors.Inc()
 		return err
 	}
+	if timed {
+		now := obs.Nanos()
+		c.met.stageDecode.Observe(now - t0)
+		t0 = now
+	}
 	if !c.dec.Has(packet.LayerTCP) {
-		c.stats.NonTCP++
+		c.met.nonTCP.Inc()
 		if c.cfg.UDPSeqEnabled && c.dec.Has(packet.LayerUDP) {
 			c.ingestUDP(t, frame)
+		}
+		if timed {
+			c.met.ingest.Observe(obs.Nanos() - start)
 		}
 		return nil
 	}
@@ -234,6 +281,7 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 			f.Rtx = &RetransmitEstimator{}
 		}
 		c.flows[key] = f
+		c.met.flowTableSize.Set(int64(len(c.flows)))
 	}
 	f.LastSeen = t
 	f.SampledPackets++
@@ -242,6 +290,11 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 	if f.DstMAC != c.dec.Eth.Dst || f.outPort < 0 {
 		f.DstMAC = c.dec.Eth.Dst
 		c.remapFlow(f)
+	}
+	if timed {
+		now := obs.Nanos()
+		c.met.stageFlowTable.Observe(now - t0)
+		t0 = now
 	}
 
 	if len(c.boundary) > 0 {
@@ -264,9 +317,18 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 	if f.Rtx != nil {
 		f.Rtx.Observe(t, c.dec.PayloadLen, f.Est.OOO > oooBefore, f.Est.StreamBytes())
 	}
+	if f.Est.OOO > oooBefore {
+		c.met.outOfOrder.Inc()
+	}
+	if timed {
+		c.met.stageEstimate.Observe(obs.Nanos() - t0)
+	}
 	if updated {
-		c.stats.RateUpdates++
+		c.met.rateUpdates.Inc()
 		c.checkCongestion(t, f)
+	}
+	if timed {
+		c.met.ingest.Observe(obs.Nanos() - start)
 	}
 	return nil
 }
@@ -290,6 +352,7 @@ func (c *Collector) ingestUDP(t units.Time, frame []byte) {
 		f.Pkt.Est.MinGap = c.cfg.MinGap
 		f.Pkt.Est.MaxBurst = c.cfg.MaxBurst
 		c.flows[key] = f
+		c.met.flowTableSize.Set(int64(len(c.flows)))
 	}
 	if f.Pkt == nil {
 		f.Pkt = NewPacketSeqEstimator()
@@ -302,7 +365,7 @@ func (c *Collector) ingestUDP(t units.Time, frame []byte) {
 		c.remapFlow(f)
 	}
 	if f.Pkt.Observe(t, seq, c.dec.WireLen) {
-		c.stats.RateUpdates++
+		c.met.rateUpdates.Inc()
 		c.checkCongestion(t, f)
 	}
 }
@@ -314,7 +377,7 @@ func (c *Collector) remapFlow(f *FlowState) {
 		if p, ok := c.mapper.OutputPort(f.DstMAC); ok {
 			newPort = p
 		} else {
-			c.stats.UnmappedOutput++
+			c.met.unmapped.Inc()
 		}
 	}
 	if newPort == f.outPort {
@@ -346,7 +409,17 @@ func (c *Collector) checkCongestion(t units.Time, f *FlowState) {
 	if p < 0 || p >= len(c.portFlows) || len(c.subs) == 0 {
 		return
 	}
+	timed := c.met.timed
+	var t0 int64
+	if timed {
+		t0 = obs.Nanos()
+	}
 	util := c.LinkUtilization(p)
+	if timed {
+		now := obs.Nanos()
+		c.met.stageUtil.Observe(now - t0)
+		t0 = now
+	}
 	if float64(util) < c.cfg.UtilThreshold*float64(c.cfg.LinkRate) {
 		return
 	}
@@ -362,9 +435,12 @@ func (c *Collector) checkCongestion(t units.Time, f *FlowState) {
 		Capacity:   c.cfg.LinkRate,
 		Flows:      c.FlowsOnPort(p),
 	}
-	c.stats.EventsEmitted++
+	c.met.events.Inc()
 	for _, fn := range c.subs {
 		fn(ev)
+	}
+	if timed {
+		c.met.stageDispatch.Observe(obs.Nanos() - t0)
 	}
 }
 
@@ -434,6 +510,9 @@ func (c *Collector) ExpireFlows(now units.Time, idle units.Duration) int {
 			delete(c.flows, k)
 			n++
 		}
+	}
+	if n > 0 {
+		c.met.flowTableSize.Set(int64(len(c.flows)))
 	}
 	return n
 }

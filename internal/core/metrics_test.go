@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"planck/internal/obs"
+	"planck/internal/units"
+)
+
+// drive pushes a steady TCP stream plus a few malformed frames through
+// the collector.
+func driveCollector(t *testing.T, c *Collector, frames int) {
+	t.Helper()
+	var t0 units.Time
+	var seq uint32
+	for i := 0; i < frames; i++ {
+		if err := c.Ingest(t0, tcpFrame(seq, 1460)); err != nil {
+			t.Fatal(err)
+		}
+		seq += 1460
+		t0 = t0.Add(units.Duration(1230))
+	}
+	_ = c.Ingest(t0, []byte{0xde, 0xad}) // undecodable
+}
+
+// TestCollectorRegistersMetrics checks that attaching a registry
+// exposes the full pipeline instrument set, labelled by switch.
+func TestCollectorRegistersMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{
+		SwitchName: "sw0",
+		NumPorts:   4,
+		LinkRate:   units.Rate10G,
+		Metrics:    reg,
+	})
+	c.SetPortMapper(staticMapper{macB.U64(): 2})
+	driveCollector(t, c, 2000)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, name := range []string{
+		`planck_collector_samples_total{switch="sw0"} 2001`,
+		`planck_collector_decode_errors_total{switch="sw0"} 1`,
+		`planck_collector_flow_table_size{switch="sw0"} 1`,
+		`planck_collector_rate_updates_total{switch="sw0"}`,
+		`planck_collector_ingest_ns_count{switch="sw0"} 2001`,
+		`planck_collector_stage_decode_ns_count{switch="sw0"}`,
+		`planck_collector_stage_flow_table_ns_count{switch="sw0"}`,
+		`planck_collector_stage_estimate_ns_count{switch="sw0"}`,
+		`planck_collector_stage_utilization_ns`,
+		`planck_collector_stage_dispatch_ns`,
+	} {
+		if !strings.Contains(text, name) {
+			t.Fatalf("exposition missing %q:\n%s", name, text)
+		}
+	}
+}
+
+// TestCollectorStageTimingWithoutRegistry: StageTiming alone populates
+// the histograms for embedders that bypass a registry.
+func TestCollectorStageTimingWithoutRegistry(t *testing.T) {
+	c := New(Config{
+		SwitchName:  "sw0",
+		NumPorts:    4,
+		LinkRate:    units.Rate10G,
+		StageTiming: true,
+	})
+	c.SetPortMapper(staticMapper{macB.U64(): 2})
+	driveCollector(t, c, 500)
+
+	decode, flowTable, estimate, _, _ := c.StageTimings()
+	if decode.N() == 0 || flowTable.N() == 0 || estimate.N() == 0 {
+		t.Fatalf("stage counts decode=%d flowTable=%d estimate=%d, want all > 0",
+			decode.N(), flowTable.N(), estimate.N())
+	}
+	tm := c.IngestTimings()
+	if tm == nil || tm.N() != 501 {
+		t.Fatalf("ingest timings N = %v, want 501", tm.N())
+	}
+	if tm.Min() < 0 || tm.Median() <= 0 {
+		t.Fatalf("implausible ingest timing: min=%v median=%v", tm.Min(), tm.Median())
+	}
+}
+
+// TestCollectorStatsMatchesMetrics: the legacy Stats() snapshot is
+// rebuilt from the metric counters and must agree with the exposition.
+func TestCollectorStatsMatchesMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{
+		SwitchName: "sw0",
+		NumPorts:   4,
+		LinkRate:   units.Rate10G,
+		Metrics:    reg,
+	})
+	c.SetPortMapper(staticMapper{macB.U64(): 2})
+	driveCollector(t, c, 1000)
+
+	st := c.Stats()
+	if st.Samples != 1001 || st.DecodeErrors != 1 || st.Flows != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.RateUpdates == 0 {
+		t.Fatal("no rate updates after 1000 in-order samples")
+	}
+	// Timing disabled is the no-registry default; with a registry it is on.
+	if c.IngestTimings() == nil {
+		t.Fatal("registry attach should enable stage timing")
+	}
+	bare := New(Config{SwitchName: "sw0", NumPorts: 4, LinkRate: units.Rate10G})
+	if bare.IngestTimings() != nil {
+		t.Fatal("bare collector should not allocate timing histograms")
+	}
+}

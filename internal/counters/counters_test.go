@@ -131,3 +131,70 @@ func TestPollerVsPlanckOnTCPBurst(t *testing.T) {
 	t.Logf("short TCP flow: poller peak %.2f Gbps vs collector peak %.2f Gbps",
 		peakPolled.Gigabits(), peakPlanck.Gigabits())
 }
+
+// pollerNode is an inert port owner for synthetic counter tests.
+type pollerNode struct{}
+
+func (pollerNode) Receive(units.Time, *sim.Port, *sim.Packet) {}
+func (pollerNode) Name() string                               { return "pollerNode" }
+
+// TestPollerSampleOrderingAndAccounting pins the poller's contract:
+// polls fire at t = k·interval, each poll visits ports in index order
+// exactly once, TxBytes is the delta since the previous poll (with the
+// construction-time reading as the baseline), and Polls counts rounds —
+// not per-port samples — and freezes after Stop.
+func TestPollerSampleOrderingAndAccounting(t *testing.T) {
+	eng := sim.New()
+	var owner pollerNode
+	ports := make([]*sim.Port, 3)
+	for i := range ports {
+		ports[i] = sim.NewPort(eng, owner, i, units.Rate10G)
+	}
+	// Traffic before the poller exists must not appear in any delta.
+	ports[0].TxBytes = 500
+
+	interval := units.Duration(units.Millisecond)
+	var samples []Sample
+	p := NewPortPoller(eng, ports, interval, func(s Sample) { samples = append(samples, s) })
+
+	bump := func(at units.Duration, port int, bytes int64) {
+		eng.Schedule(units.Time(at), sim.Callback(func(units.Time) {
+			ports[port].TxBytes += bytes
+		}), nil)
+	}
+	bump(500*units.Microsecond, 0, 1000)
+	bump(500*units.Microsecond, 1, 2000)
+	bump(1500*units.Microsecond, 2, 3000)
+
+	eng.RunUntil(units.Time(3500 * units.Microsecond))
+
+	if p.Polls != 3 {
+		t.Fatalf("Polls = %d after 3.5 intervals, want 3", p.Polls)
+	}
+	if len(samples) != 9 {
+		t.Fatalf("%d samples, want 3 polls x 3 ports", len(samples))
+	}
+	wantDeltas := []int64{1000, 2000, 0, 0, 0, 3000, 0, 0, 0}
+	for i, s := range samples {
+		round, port := i/3, i%3
+		if s.Port != port {
+			t.Fatalf("sample %d: port %d, want %d (index order within a round)", i, s.Port, port)
+		}
+		wantT := units.Time(units.Duration(round+1) * interval)
+		if s.Time != wantT {
+			t.Fatalf("sample %d: time %v, want %v", i, s.Time, wantT)
+		}
+		if s.TxBytes != wantDeltas[i] {
+			t.Fatalf("sample %d (round %d port %d): delta %d, want %d", i, round, port, s.TxBytes, wantDeltas[i])
+		}
+		if want := units.RateOf(s.TxBytes, interval); s.Util != want {
+			t.Fatalf("sample %d: util %v, want %v", i, s.Util, want)
+		}
+	}
+
+	p.Stop()
+	eng.RunUntil(units.Time(10 * units.Millisecond))
+	if p.Polls != 3 || len(samples) != 9 {
+		t.Fatalf("after Stop: Polls=%d samples=%d, want unchanged 3/9", p.Polls, len(samples))
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"planck/internal/core"
-	"planck/internal/stats"
+	"planck/internal/obs"
 	"planck/internal/topo"
 	"planck/internal/units"
 )
@@ -21,7 +21,7 @@ type SampleLatencyParams struct {
 // latency in microseconds.
 type SampleLatencyResult struct {
 	Kind    SwitchKind
-	Samples *stats.Sample
+	Samples *obs.Histogram
 }
 
 // SampleLatency reproduces §5.2: an otherwise idle network with light
@@ -49,7 +49,7 @@ type Fig8Params struct {
 
 // Fig8Result holds one latency CDF per switch kind (µs).
 type Fig8Result struct {
-	Latency map[SwitchKind]*stats.Sample
+	Latency map[SwitchKind]*obs.Histogram
 }
 
 // Fig8 reproduces Figure 8: three hosts send saturated TCP traffic to
@@ -60,7 +60,7 @@ func Fig8(p Fig8Params) *Fig8Result {
 	if p.Duration == 0 {
 		p.Duration = 300 * units.Millisecond
 	}
-	res := &Fig8Result{Latency: make(map[SwitchKind]*stats.Sample)}
+	res := &Fig8Result{Latency: make(map[SwitchKind]*obs.Histogram)}
 	for _, kind := range []SwitchKind{SwitchG8264, SwitchPronto3290} {
 		l := mustLab(microLabOptions(kind, 6, false, p.Seed))
 		for i := 0; i < 3; i++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"planck/internal/lab"
 	"planck/internal/stats"
 	"planck/internal/units"
 	"planck/internal/workload"
@@ -46,10 +47,19 @@ func RunWorkload(kind WorkloadKind, scheme Scheme, size int64, seed int64, timeo
 		panic(err)
 	}
 	defer cleanup()
+	return RunWorkloadOn(l, kind, size, seed, timeout)
+}
+
+// RunWorkloadOn runs one workload on an already-assembled testbed. It
+// exists so callers that want to observe the run — serve l.Metrics,
+// subscribe to events — can build the lab with SchemeLab first and keep
+// hold of it.
+func RunWorkloadOn(l *lab.Lab, kind WorkloadKind, size int64, seed int64, timeout units.Duration) *workload.Result {
 	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
 	cfg := workload.RunConfig{Timeout: timeout}
 	n := len(l.Hosts)
 	var res *workload.Result
+	var err error
 	switch kind {
 	case WorkloadShuffle:
 		res, err = workload.RunShuffle(l, size, 2, cfg, rng)

@@ -2,8 +2,8 @@ package lab
 
 import (
 	"planck/internal/core"
+	"planck/internal/obs"
 	"planck/internal/sim"
-	"planck/internal/stats"
 	"planck/internal/switchsim"
 	"planck/internal/units"
 )
@@ -30,11 +30,12 @@ type CollectorNode struct {
 
 	// SampleLatency records, for every delivered sample, the time from
 	// the sender's stamp (tcpdump-equivalent) to collector delivery —
-	// the measurement latency of §5.2/Fig. 8.
-	SampleLatency *stats.Sample
+	// the measurement latency of §5.2/Fig. 8. Recorded in nanoseconds,
+	// reported in microseconds.
+	SampleLatency *obs.Histogram
 	// MirrorQueueLatency records time from switch entry to collector
-	// delivery (the buffering component, Fig. 12).
-	MirrorQueueLatency *stats.Sample
+	// delivery (the buffering component, Fig. 12), microseconds.
+	MirrorQueueLatency *obs.Histogram
 
 	// OnSample, when set, observes each delivered sample after ingest.
 	OnSample func(now units.Time, pkt *sim.Packet)
@@ -47,20 +48,51 @@ type CollectorNode struct {
 // at rate (which must match the monitor port it connects to).
 func NewCollectorNode(eng *sim.Engine, col *core.Collector, rate units.Rate, poll, overhead units.Duration) *CollectorNode {
 	n := &CollectorNode{
-		eng:                eng,
-		col:                col,
-		poll:               poll,
-		overhead:           overhead,
-		scratch:            make([]byte, 2048),
-		SampleLatency:      &stats.Sample{},
-		MirrorQueueLatency: &stats.Sample{},
+		eng:      eng,
+		col:      col,
+		poll:     poll,
+		overhead: overhead,
+		scratch:  make([]byte, 2048),
+		// Latencies are recorded as exact nanosecond durations and
+		// reported in microseconds (scale 1e-3), preserving the units
+		// the experiment harnesses and the paper's figures use.
+		SampleLatency:      obs.NewScaledHistogram(1e-3),
+		MirrorQueueLatency: obs.NewScaledHistogram(1e-3),
 	}
 	n.port = sim.NewPort(eng, n, 0, rate)
 	return n
 }
 
+// RegisterMetrics exposes the node's instruments in r, labelled with
+// the monitored switch's name.
+func (n *CollectorNode) RegisterMetrics(r *obs.Registry, switchName string) {
+	label := obs.Label("switch", switchName)
+	r.MustRegister("planck_lab_sample_latency_us", n.SampleLatency, label)
+	r.MustRegister("planck_lab_mirror_queue_latency_us", n.MirrorQueueLatency, label)
+	r.GaugeFunc("planck_lab_ingest_errors_total", func() float64 { return float64(n.IngestErrors) }, label)
+}
+
 // Port returns the node's NIC. It must be connected to a monitor port.
 func (n *CollectorNode) Port() *sim.Port { return n.port }
+
+// ingestOne runs one delivered sample through the collector and the
+// latency accounting shared by both capture paths.
+func (n *CollectorNode) ingestOne(at units.Time, pkt *sim.Packet) {
+	frame := pkt.WireBytes(n.scratch)
+	n.scratch = frame[:cap(frame)]
+	if err := n.col.Ingest(at, frame); err != nil {
+		n.IngestErrors++
+	}
+	if pkt.SentAt > 0 {
+		n.SampleLatency.Observe(int64(at.Sub(pkt.SentAt)))
+	}
+	if pkt.EnteredSwitch > 0 {
+		n.MirrorQueueLatency.Observe(int64(at.Sub(pkt.EnteredSwitch)))
+	}
+	if n.OnSample != nil {
+		n.OnSample(at, pkt)
+	}
+}
 
 // AttachInSwitch binds the collector to a switch's data-plane sample
 // sink (§9.2's in-switch collector): samples arrive at switching time
@@ -68,21 +100,7 @@ func (n *CollectorNode) Port() *sim.Port { return n.port }
 // fixed processing overhead applies.
 func (n *CollectorNode) AttachInSwitch(sw *switchsim.Switch) {
 	sw.SampleSink = func(now units.Time, pkt *sim.Packet) {
-		at := now.Add(n.overhead)
-		frame := pkt.WireBytes(n.scratch)
-		n.scratch = frame[:cap(frame)]
-		if err := n.col.Ingest(at, frame); err != nil {
-			n.IngestErrors++
-		}
-		if pkt.SentAt > 0 {
-			n.SampleLatency.Add(at.Sub(pkt.SentAt).Microseconds())
-		}
-		if pkt.EnteredSwitch > 0 {
-			n.MirrorQueueLatency.Add(at.Sub(pkt.EnteredSwitch).Microseconds())
-		}
-		if n.OnSample != nil {
-			n.OnSample(at, pkt)
-		}
+		n.ingestOne(now.Add(n.overhead), pkt)
 	}
 }
 
@@ -107,20 +125,7 @@ func (n *CollectorNode) deliver(now units.Time) {
 	}
 	at := now.Add(n.overhead)
 	for _, pkt := range n.pending {
-		frame := pkt.WireBytes(n.scratch)
-		n.scratch = frame[:cap(frame)]
-		if err := n.col.Ingest(at, frame); err != nil {
-			n.IngestErrors++
-		}
-		if pkt.SentAt > 0 {
-			n.SampleLatency.Add(at.Sub(pkt.SentAt).Microseconds())
-		}
-		if pkt.EnteredSwitch > 0 {
-			n.MirrorQueueLatency.Add(at.Sub(pkt.EnteredSwitch).Microseconds())
-		}
-		if n.OnSample != nil {
-			n.OnSample(at, pkt)
-		}
+		n.ingestOne(at, pkt)
 		n.eng.FreePacket(pkt)
 	}
 	n.pending = n.pending[:0]

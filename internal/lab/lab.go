@@ -11,6 +11,7 @@ import (
 
 	"planck/internal/controller"
 	"planck/internal/core"
+	"planck/internal/obs"
 	"planck/internal/sim"
 	"planck/internal/switchsim"
 	"planck/internal/tcpsim"
@@ -66,6 +67,12 @@ type Lab struct {
 	Collectors []*CollectorNode // indexed by switch; nil when unmonitored
 	Ctrl       *controller.Controller
 
+	// Metrics aggregates every component's instruments: the engine's
+	// vitals, the controller's actuation delays, each collector's
+	// per-stage timings, and each collector node's latency histograms.
+	// Serve it (obs.Serve) to watch a running testbed live.
+	Metrics *obs.Registry
+
 	opts Options
 }
 
@@ -112,8 +119,10 @@ func New(opts Options) (*Lab, error) {
 		Switches:   make([]*switchsim.Switch, net.NumSwitches()),
 		Hosts:      make([]*tcpsim.Host, net.NumHosts()),
 		Collectors: make([]*CollectorNode, net.NumSwitches()),
+		Metrics:    obs.NewRegistry(),
 		opts:       opts,
 	}
+	eng.RegisterMetrics(l.Metrics)
 
 	for s := 0; s < net.NumSwitches(); s++ {
 		cfg := opts.SwitchConfig(net.SwitchNames[s], len(net.Ports[s]))
@@ -151,6 +160,7 @@ func New(opts Options) (*Lab, error) {
 		ccfg = controller.DefaultConfig()
 	}
 	l.Ctrl = controller.New(eng, net, l.Switches, l.Hosts, ccfg, rng)
+	l.Ctrl.RegisterMetrics(l.Metrics)
 	trees := opts.InitialTrees
 	if trees == nil {
 		trees = make([]int, net.NumHosts())
@@ -170,7 +180,9 @@ func New(opts Options) (*Lab, error) {
 			ccfg.SwitchName = net.SwitchNames[s]
 			ccfg.NumPorts = len(net.Ports[s])
 			ccfg.LinkRate = net.LineRate
+			ccfg.Metrics = l.Metrics
 			node := NewCollectorNode(eng, core.New(ccfg), net.LineRate, opts.PollInterval, opts.PollOverhead)
+			node.RegisterMetrics(l.Metrics, ccfg.SwitchName)
 			if opts.InSwitchCollectors {
 				node.AttachInSwitch(l.Switches[s])
 			} else {

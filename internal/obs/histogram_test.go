@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"planck/internal/stats"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<62 + 12345, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histNumBuckets {
+			t.Fatalf("value %d -> bucket %d out of range", v, idx)
+		}
+		lo, hi := bucketLow(idx), bucketHigh(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d not in bucket %d [%d, %d]", v, idx, lo, hi)
+		}
+	}
+	// Buckets must tile the range without gaps or overlap.
+	for idx := 0; idx < histNumBuckets-1; idx++ {
+		if bucketHigh(idx)+1 != bucketLow(idx+1) {
+			t.Fatalf("gap after bucket %d: high %d, next low %d", idx, bucketHigh(idx), bucketLow(idx+1))
+		}
+	}
+	// Relative bucket width is bounded by 1/histSubBuckets above the
+	// exact region.
+	for _, idx := range []int{100, 500, 1000, 3000} {
+		lo, hi := float64(bucketLow(idx)), float64(bucketHigh(idx))
+		if w := (hi - lo + 1) / lo; w > 1.0/histSubBuckets*1.01 {
+			t.Fatalf("bucket %d relative width %.4f", idx, w)
+		}
+	}
+}
+
+// TestHistogramQuantilesAgainstSample uses stats.Sample — the exact
+// order-statistic implementation the lab previously recorded latencies
+// with — as the oracle: histogram quantiles must agree within the
+// bucket quantization error.
+func TestHistogramQuantilesAgainstSample(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) int64{
+		"uniform":   func(r *rand.Rand) int64 { return 50_000 + r.Int63n(200_000) },
+		"lognormal": func(r *rand.Rand) int64 { return int64(math.Exp(11 + 0.6*r.NormFloat64())) },
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(4) == 0 {
+				return 3_000_000 + r.Int63n(500_000)
+			}
+			return 90_000 + r.Int63n(30_000)
+		},
+		"constant": func(r *rand.Rand) int64 { return 123_456 },
+	}
+	for name, gen := range distributions {
+		r := rand.New(rand.NewSource(7))
+		h := NewHistogram()
+		oracle := &stats.Sample{}
+		for i := 0; i < 20_000; i++ {
+			v := gen(r)
+			h.Observe(v)
+			oracle.Add(float64(v))
+		}
+		if h.N() != oracle.N() {
+			t.Fatalf("%s: N %d vs %d", name, h.N(), oracle.N())
+		}
+		if got, want := h.Mean(), oracle.Mean(); math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("%s: mean %.1f vs %.1f (must be exact)", name, got, want)
+		}
+		if got, want := h.Min(), oracle.Min(); got != want {
+			t.Errorf("%s: min %.1f vs %.1f", name, got, want)
+		}
+		if got, want := h.Max(), oracle.Max(); got != want {
+			t.Errorf("%s: max %.1f vs %.1f", name, got, want)
+		}
+		for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+			got, want := h.Quantile(q), oracle.Quantile(q)
+			// Bucket width bounds the error at 1/64 ≈ 1.6%; allow 2.5%
+			// to absorb interpolation differences at distribution edges.
+			if want > 0 && math.Abs(got-want)/want > 0.025 {
+				t.Errorf("%s: q%.3f = %.1f, oracle %.1f (%.2f%% off)",
+					name, q, got, want, 100*math.Abs(got-want)/want)
+			}
+		}
+	}
+}
+
+func TestHistogramScale(t *testing.T) {
+	// Record nanoseconds, report microseconds — the lab latency setup.
+	h := NewScaledHistogram(1e-3)
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * 1000) // 1..100 µs in ns
+	}
+	if med := h.Median(); med < 49 || med > 52 {
+		t.Fatalf("median %.2f µs, want ≈50.5", med)
+	}
+	if mx := h.Max(); mx != 100 {
+		t.Fatalf("max %.2f µs, want 100", mx)
+	}
+	if s := h.Sum(); math.Abs(s-5050) > 1e-6 {
+		t.Fatalf("sum %.2f µs, want 5050", s)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	if h.N() != 0 || h.Median() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must read as zeros")
+	}
+	h.Observe(-5) // clamps to 0
+	if h.N() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative observation: N=%d min=%g max=%g", h.N(), h.Min(), h.Max())
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*7919 + 100)
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < 100_000; i++ {
+		h.Observe(int64(i)*31 + 50_000)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.99)
+	}
+}

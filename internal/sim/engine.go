@@ -12,6 +12,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"planck/internal/units"
 )
@@ -50,11 +51,13 @@ type Engine struct {
 
 	// Stats
 	dispatched uint64
+	// wallStart anchors wall-vs-virtual time telemetry (RegisterMetrics).
+	wallStart time.Time
 }
 
 // New returns an empty engine at time zero.
 func New() *Engine {
-	return &Engine{heap: make([]*Event, 0, 1024)}
+	return &Engine{heap: make([]*Event, 0, 1024), wallStart: time.Now()}
 }
 
 // Now returns the current virtual time.

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"time"
+
+	"planck/internal/obs"
+)
+
+// RegisterMetrics exposes the engine's vitals in r:
+//
+//	planck_sim_events_dispatched_total  events executed so far
+//	planck_sim_pending_events           event-heap depth (incl. canceled)
+//	planck_sim_virtual_seconds          the virtual clock
+//	planck_sim_wall_seconds             wall time since the engine was built
+//	planck_sim_time_dilation            virtual/wall ratio (>1: sim runs
+//	                                    faster than real time)
+//
+// The engine is single-threaded by design; the callbacks read its
+// fields without synchronization, so snapshots taken while the engine
+// runs on another goroutine are best-effort telemetry, never inputs to
+// the simulation.
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("planck_sim_events_dispatched_total", func() float64 { return float64(e.dispatched) })
+	r.GaugeFunc("planck_sim_pending_events", func() float64 { return float64(len(e.heap)) })
+	r.GaugeFunc("planck_sim_virtual_seconds", func() float64 { return e.now.Seconds() })
+	r.GaugeFunc("planck_sim_wall_seconds", func() float64 { return time.Since(e.wallStart).Seconds() })
+	r.GaugeFunc("planck_sim_time_dilation", func() float64 {
+		wall := time.Since(e.wallStart).Seconds()
+		if wall <= 0 {
+			return 0
+		}
+		return e.now.Seconds() / wall
+	})
+}

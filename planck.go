@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 
 	"planck/internal/core"
 	"planck/internal/lab"
@@ -129,13 +130,40 @@ func DecodeSample(dgram []byte) (Time, []byte, error) {
 	return Time(binary.BigEndian.Uint64(dgram[:8])), dgram[8:], nil
 }
 
+// UDPServeStats counts what a live UDP ingest loop saw. All fields are
+// atomic so a monitoring goroutine (e.g. a metrics endpoint) can read
+// them while the serve loop runs.
+type UDPServeStats struct {
+	// Samples counts well-formed datagrams handed to the collector.
+	Samples atomic.Int64
+	// ShortDatagrams counts datagrams too short to carry the transport
+	// header (malformed sender or truncation in flight).
+	ShortDatagrams atomic.Int64
+	// TimestampRegressions counts datagrams whose frame the collector
+	// rejected and whose timestamp ran backwards relative to the last
+	// accepted sample — the signature of a confused or unsynchronized
+	// capture shim.
+	TimestampRegressions atomic.Int64
+	// IngestErrors counts the remaining collector rejections (frames
+	// that failed to parse as Ethernet/IPv4/TCP-UDP).
+	IngestErrors atomic.Int64
+}
+
 // ServeUDP ingests encapsulated samples from conn into the collector
 // until the connection is closed or maxSamples arrive (0 = unbounded).
 // It returns the number of samples ingested. Malformed datagrams and
 // per-frame decode errors are counted by the collector, not fatal.
 func ServeUDP(conn net.PacketConn, c *Collector, maxSamples int) (int, error) {
+	return ServeUDPObserved(conn, c, maxSamples, nil)
+}
+
+// ServeUDPObserved is ServeUDP with malformed-input accounting: when st
+// is non-nil, every datagram is classified into one of its counters as
+// it is processed, so a live deployment can watch its ingest health.
+func ServeUDPObserved(conn net.PacketConn, c *Collector, maxSamples int, st *UDPServeStats) (int, error) {
 	buf := make([]byte, 65536)
 	n := 0
+	var lastT Time
 	for maxSamples == 0 || n < maxSamples {
 		ln, _, err := conn.ReadFrom(buf)
 		if err != nil {
@@ -146,9 +174,25 @@ func ServeUDP(conn net.PacketConn, c *Collector, maxSamples int) (int, error) {
 		}
 		t, frame, err := DecodeSample(buf[:ln])
 		if err != nil {
+			if st != nil {
+				st.ShortDatagrams.Add(1)
+			}
 			continue
 		}
-		_ = c.Ingest(t, frame)
+		if ierr := c.Ingest(t, frame); ierr != nil {
+			if st != nil {
+				if t < lastT {
+					st.TimestampRegressions.Add(1)
+				} else {
+					st.IngestErrors.Add(1)
+				}
+			}
+		} else {
+			lastT = t
+			if st != nil {
+				st.Samples.Add(1)
+			}
+		}
 		n++
 	}
 	return n, nil

@@ -147,6 +147,78 @@ func TestServeUDPLoopback(t *testing.T) {
 	}
 }
 
+// TestServeUDPObservedMalformedAccounting sends a mix of good samples,
+// short datagrams, backwards timestamps, and unparseable frames, and
+// checks each lands in the right UDPServeStats counter.
+func TestServeUDPObservedMalformedAccounting(t *testing.T) {
+	lc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	col := NewCollector(CollectorConfig{SwitchName: "live", LinkRate: 10 * Gbps})
+	var st UDPServeStats
+	const total = 8
+	lc.SetDeadline(time.Now().Add(5 * time.Second))
+	done := make(chan int, 1)
+	go func() {
+		n, _ := ServeUDPObserved(lc, col, total, &st)
+		done <- n
+	}()
+
+	sender, err := net.Dial("udp", lc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	frameAt := func(tm Time, seq uint32) []byte {
+		frame := packetpkg.BuildTCP(nil, packetpkg.TCPSpec{
+			SrcMAC: packetpkg.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packetpkg.MAC{2, 0, 0, 0, 0, 2},
+			SrcIP: packetpkg.IPv4{10, 0, 0, 1}, DstIP: packetpkg.IPv4{10, 0, 0, 2},
+			SrcPort: 1000, DstPort: 2000, Seq: seq, Flags: packetpkg.TCPAck, PayloadLen: 100,
+		})
+		return EncodeSample(nil, tm, frame)
+	}
+	send := func(b []byte) {
+		if _, err := sender.Write(b); err != nil {
+			t.Fatal(err)
+		}
+		// Serialize sends so the loop's lastT tracking sees our order.
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	send(frameAt(Time(1000000), 0))    // good
+	send(frameAt(Time(2000000), 1460)) // good
+	send([]byte{1, 2, 3})              // short datagram (header truncated)
+	send(frameAt(Time(500000), 2920))  // timestamp regression
+	// Unparseable frame at a fresh timestamp: too short for Ethernet.
+	send(EncodeSample(nil, Time(3000000), []byte{0xde, 0xad}))
+	send(frameAt(Time(4000000), 2920)) // good
+	send(frameAt(Time(5000000), 4380)) // good
+	send(frameAt(Time(6000000), 5840)) // good
+
+	// The short datagram never counts toward maxSamples, so 8 sends
+	// yield 7 loop iterations; close the socket to end the serve loop.
+	time.Sleep(50 * time.Millisecond)
+	lc.Close()
+	<-done
+
+	if got := st.Samples.Load(); got != 5 {
+		t.Fatalf("Samples = %d, want 5", got)
+	}
+	if got := st.ShortDatagrams.Load(); got != 1 {
+		t.Fatalf("ShortDatagrams = %d, want 1", got)
+	}
+	if got := st.TimestampRegressions.Load(); got != 1 {
+		t.Fatalf("TimestampRegressions = %d, want 1", got)
+	}
+	if got := st.IngestErrors.Load(); got != 1 {
+		t.Fatalf("IngestErrors = %d, want 1", got)
+	}
+}
+
 func TestSampleEncoding(t *testing.T) {
 	frame := []byte{1, 2, 3, 4, 5}
 	d := EncodeSample(nil, Time(123456789), frame)
