@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-obs clean
+.PHONY: all build vet test race race-fast fuzz-smoke check bench bench-obs bench-shard clean
 
 all: check
 
@@ -13,16 +13,24 @@ vet:
 test:
 	$(GO) test ./...
 
-# race-fast covers the packages with genuine concurrency (the obs
+# race-fast covers the packages with genuine concurrency (the sharded
+# collector pipeline and its serial-equivalence oracles, the obs
 # registry under concurrent observe/serve, the UDP transport) plus the
-# hot-path packages, in a few seconds.
+# hot-path packages, in under a minute.
 race-fast:
-	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/counters/ ./internal/sim/ ./internal/packet/ .
+	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/counters/ ./internal/sim/ ./internal/packet/ ./internal/lab/ .
 
 # The experiments suite runs ~7 min uninstrumented; give the race
 # build room beyond go test's 10-minute default.
 race:
-	$(GO) test -race -timeout 60m ./...
+	$(GO) build ./...
+	$(GO) test -race -count=1 -timeout 60m ./...
+
+# fuzz-smoke gives each native fuzz target a short budget — enough to
+# replay the corpus and shake the mutator — without tying up CI.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 10s ./internal/packet/
+	$(GO) test -run xxx -fuzz FuzzIngest -fuzztime 10s ./internal/core/
 
 # check is the tier-1 gate: everything must compile, vet clean, and pass.
 check: vet build test race-fast
@@ -37,6 +45,12 @@ bench:
 bench-obs:
 	$(GO) run ./cmd/planck-bench -obs-json BENCH_obs.json
 
+# bench-shard compares serial vs sharded end-to-end ingest over a
+# 64-flow mix into BENCH_shard.json (speedup is bounded by GOMAXPROCS;
+# the report records the host's value).
+bench-shard:
+	$(GO) run ./cmd/planck-bench -shard-json BENCH_shard.json
+
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_shard.json
 	$(GO) clean ./...

@@ -167,10 +167,18 @@ func main() {
 	durMs := flag.Int("duration-ms", 0, "per-run duration override in ms (0 = default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	obsJSON := flag.String("obs-json", "", "run the observability microbenchmarks, write JSON here (\"-\" = stdout), and exit")
+	shardJSON := flag.String("shard-json", "", "run the sharded-vs-serial ingest benchmarks, write JSON here (\"-\" = stdout), and exit")
 	flag.Parse()
 
 	if *obsJSON != "" {
 		if err := runObsBench(*obsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardJSON != "" {
+		if err := runShardBench(*shardJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

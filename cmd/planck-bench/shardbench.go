@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"planck/internal/core"
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// shardBenchReport is BENCH_shard.json: the sharded-vs-serial ingest
+// comparison plus the parallelism the host actually offered, so the
+// numbers can be read honestly (speedup is bounded by GOMAXPROCS).
+type shardBenchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Rows       []obsBenchRow `json:"rows"`
+}
+
+// runShardBench measures the full ingest pipeline — serial versus the
+// sharded concurrent pipeline at 1, 2, and 4 shards — over a 64-flow
+// TCP mix, and writes the rows as JSON to path ("-" for stdout).
+func runShardBench(path string) error {
+	rep := shardBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	add := func(name string, r testing.BenchmarkResult) {
+		rep.Rows = append(rep.Rows, obsBenchRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Fprintf(os.Stderr, "%-32s %10.1f ns/op %6d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+
+	add("ingest_serial", testing.Benchmark(func(b *testing.B) {
+		benchIngestMix(b, 0)
+	}))
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		add(fmt.Sprintf("ingest_sharded_%d", shards), testing.Benchmark(func(b *testing.B) {
+			benchIngestMix(b, shards)
+		}))
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// benchIngestMix drives 64 interleaved TCP flows through either the
+// serial collector (shards == 0) or the sharded pipeline, patching each
+// flow's sequence number in place so the driving loop allocates nothing.
+func benchIngestMix(b *testing.B, shards int) {
+	const nFlows = 64
+	cfg := core.Config{SwitchName: "bench", NumPorts: 8, LinkRate: units.Rate10G}
+	var ing interface {
+		Ingest(units.Time, []byte) error
+	}
+	var sc *core.ShardedCollector
+	if shards > 0 {
+		sc = core.NewSharded(core.ShardedConfig{Config: cfg, Shards: shards})
+		defer sc.Close()
+		ing = sc
+	} else {
+		ing = core.New(cfg)
+	}
+
+	frames := make([][]byte, nFlows)
+	seqs := make([]uint32, nFlows)
+	for i := range frames {
+		frames[i] = packet.BuildTCP(nil, packet.TCPSpec{
+			SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+			SrcIP: packet.IPv4{10, 0, 0, 1}, DstIP: packet.IPv4{10, 0, 1, byte(i)},
+			SrcPort: uint16(1000 + i), DstPort: 2000,
+			Flags: packet.TCPAck, PayloadLen: 1460,
+		})
+	}
+	seqOff := packet.EthernetHeaderLen + packet.IPv4MinHeaderLen + 4
+	var t0 units.Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := i % nFlows
+		frame := frames[f]
+		seq := seqs[f]
+		frame[seqOff] = byte(seq >> 24)
+		frame[seqOff+1] = byte(seq >> 16)
+		frame[seqOff+2] = byte(seq >> 8)
+		frame[seqOff+3] = byte(seq)
+		if err := ing.Ingest(t0, frame); err != nil {
+			b.Fatal(err)
+		}
+		seqs[f] = seq + 1460
+		t0 = t0.Add(units.Duration(123))
+	}
+	// Drain in-flight batches inside the timed region: the comparison is
+	// end-to-end completed work, not dispatch throughput.
+	if sc != nil {
+		sc.Flush()
+	}
+	b.StopTimer()
+}

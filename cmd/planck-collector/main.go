@@ -8,8 +8,13 @@
 //
 //	planck-collector -pcap capture.pcap
 //	planck-collector -pcap capture.pcap -threshold 0.8 -rate 10
+//	planck-collector -pcap capture.pcap -shards 4
 //	planck-collector -listen :5601 -max-samples 100000
 //	planck-collector -listen :5601 -metrics :9090 -stats-every 5s
+//
+// -shards > 1 runs the concurrent hash-partitioned pipeline (default is
+// one shard per GOMAXPROCS); results are identical to the serial
+// collector by the serial-equivalence oracle.
 //
 // With -metrics, an HTTP endpoint serves /metrics (Prometheus text),
 // /debug/vars (JSON), and /debug/pprof/* for the full pipeline: samples,
@@ -24,6 +29,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"sort"
 
 	"planck"
@@ -42,6 +48,7 @@ func main() {
 	topFlows := flag.Int("top", 10, "flows to print")
 	metricsAddr := flag.String("metrics", "", "HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = off)")
 	statsEvery := flag.Duration("stats-every", 0, "period between one-line stats reports on stderr (0 = off)")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "collector shards; >1 runs the concurrent hash-partitioned pipeline")
 	flag.Parse()
 
 	if (*pcapPath == "") == (*listen == "") {
@@ -51,14 +58,29 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	col := core.New(core.Config{
+	ccfg := core.Config{
 		SwitchName:    "collector",
 		LinkRate:      units.Rate(*rateG * float64(units.Gbps)),
 		UtilThreshold: *threshold,
 		Metrics:       reg,
-	})
+	}
+	// Either pipeline satisfies the ingest and reporting surfaces the
+	// command needs; -shards>1 selects the concurrent one.
+	var col planck.Ingester
+	var serial *core.Collector
+	var sharded *core.ShardedCollector
 	events := 0
-	col.Subscribe(func(ev core.CongestionEvent) { events++ })
+	onEvent := func(ev core.CongestionEvent) { events++ }
+	if *shards > 1 {
+		sharded = core.NewSharded(core.ShardedConfig{Config: ccfg, Shards: *shards})
+		sharded.Subscribe(onEvent)
+		col = sharded
+		fmt.Fprintf(os.Stderr, "sharded pipeline: %d shards\n", sharded.NumShards())
+	} else {
+		serial = core.New(ccfg)
+		serial.Subscribe(onEvent)
+		col = serial
+	}
 
 	var udpStats planck.UDPServeStats
 	reg.GaugeFunc("planck_udp_samples_total", func() float64 { return float64(udpStats.Samples.Load()) })
@@ -124,12 +146,29 @@ func main() {
 		}
 	}
 
-	st := col.Stats()
+	// Quiesce the concurrent pipeline before the final report so Stats
+	// and the flow table reflect every accepted sample.
+	var st core.Stats
+	var flows func(fn func(*core.FlowState))
+	if sharded != nil {
+		sharded.Flush()
+		st = sharded.Stats()
+		flows = sharded.Flows
+		if d := sharded.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "shard queues shed %d samples\n", d)
+		}
+		defer sharded.Close()
+	} else {
+		st = serial.Stats()
+		flows = serial.Flows
+	}
 	fmt.Printf("replayed %d frames: %d flows, %d rate updates, %d decode errors, %d non-TCP\n",
 		frames, st.Flows, st.RateUpdates, st.DecodeErrors, st.NonTCP)
-	if tm := col.IngestTimings(); tm != nil && tm.N() > 0 {
-		fmt.Printf("ingest wall time: p50=%.0fns p99=%.0fns over %d samples\n",
-			tm.Median(), tm.Quantile(0.99), tm.N())
+	if serial != nil {
+		if tm := serial.IngestTimings(); tm != nil && tm.N() > 0 {
+			fmt.Printf("ingest wall time: p50=%.0fns p99=%.0fns over %d samples\n",
+				tm.Median(), tm.Quantile(0.99), tm.N())
+		}
 	}
 
 	type row struct {
@@ -138,7 +177,7 @@ func main() {
 		pkts int64
 	}
 	var rows []row
-	col.Flows(func(fs *core.FlowState) {
+	flows(func(fs *core.FlowState) {
 		r, _ := fs.Rate()
 		rows = append(rows, row{key: fs.Key.String(), rate: r, pkts: fs.SampledPackets})
 	})

@@ -186,8 +186,16 @@ func New(cfg Config) *Collector {
 }
 
 // SetPortMapper installs (or replaces, after a route change) the routing
-// state used for port inference.
-func (c *Collector) SetPortMapper(m PortMapper) { c.mapper = m }
+// state used for port inference. Live flows are re-resolved immediately:
+// when PlanckTE reroutes a flow (§4) the controller's new routing state
+// must move the flow's contribution to its new egress link even if no
+// further sample arrives before the next utilization query.
+func (c *Collector) SetPortMapper(m PortMapper) {
+	c.mapper = m
+	for _, f := range c.flows {
+		c.remapFlow(f)
+	}
+}
 
 // Subscribe registers fn for congestion events.
 func (c *Collector) Subscribe(fn func(ev CongestionEvent)) { c.subs = append(c.subs, fn) }
@@ -337,7 +345,9 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 // packet counter embedded in the payload (§3.2.2's generalization).
 func (c *Collector) ingestUDP(t units.Time, frame []byte) {
 	off := packet.EthernetHeaderLen + c.dec.IP.HeaderLen() + packet.UDPHeaderLen + c.cfg.UDPSeqOffset
-	if off+4 > len(frame) {
+	if off < 0 || off+4 > len(frame) {
+		// A negative offset can only come from a mis-set UDPSeqOffset, but
+		// it must degrade to "no counter", not an out-of-range panic.
 		return
 	}
 	seq := uint32(frame[off])<<24 | uint32(frame[off+1])<<16 |

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// Property tests for the ExpireFlows / FlowFreshness interaction. The
+// two mechanisms overlap — freshness silently excludes a stale flow
+// from utilization, expiry removes its record — and the collector must
+// stay consistent whichever fires first.
+
+// TestExpiredFlowsNeverContributeToUtilization: for arbitrary flow
+// populations with arbitrary last-activity times, after ExpireFlows(now,
+// idle) the utilization of every port equals the sum over surviving,
+// fresh flows — an expired flow can never leak rate into a link sum.
+func TestExpiredFlowsNeverContributeToUtilization(t *testing.T) {
+	prop := func(seed int64, nFlows uint8, idleUS uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			SwitchName: "sw0", NumPorts: 4, LinkRate: units.Rate10G,
+			FlowFreshness: 5 * units.Millisecond, // explicit: the recomputation below reads it
+		}
+		c := New(cfg)
+		c.SetPortMapper(staticMapper{macB.U64(): 2})
+		n := 1 + int(nFlows)%24
+		var t0 units.Time
+		// Each flow streams long enough to have a rate, then goes quiet at
+		// its own time; flows interleave so LastSeen values spread out.
+		type lane struct {
+			src  uint16
+			seq  uint32
+			last units.Time
+		}
+		lanes := make([]*lane, n)
+		for i := range lanes {
+			lanes[i] = &lane{src: uint16(1000 + i)}
+		}
+		for step := 0; step < 4000; step++ {
+			ln := lanes[rng.Intn(n)]
+			frame := packet.BuildTCP(nil, packet.TCPSpec{
+				SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+				SrcPort: ln.src, DstPort: 2000, Seq: ln.seq,
+				Flags: packet.TCPAck, PayloadLen: 1460,
+			})
+			ln.seq += 1460
+			if err := c.Ingest(t0, frame); err != nil {
+				return false
+			}
+			ln.last = t0
+			t0 = t0.Add(units.Duration(rng.Int63n(int64(5 * units.Microsecond))))
+		}
+		now := t0.Add(units.Duration(rng.Int63n(int64(10 * units.Millisecond))))
+		idle := units.Duration(idleUS) * units.Microsecond
+
+		c.ExpireFlows(now, idle)
+
+		// Survivors are exactly the flows with now-LastSeen <= idle.
+		for _, ln := range lanes {
+			key := packet.FlowKey{SrcIP: ipA, DstIP: ipB, SrcPort: ln.src, DstPort: 2000, Proto: packet.IPProtocolTCP}
+			tracked := c.Flow(key) != nil
+			if ln.seq == 0 {
+				continue // lane never sampled
+			}
+			shouldLive := now.Sub(ln.last) <= idle
+			if tracked != shouldLive {
+				return false
+			}
+		}
+		// Utilization equals the from-scratch sum over surviving fresh
+		// flows: expired flows contribute nothing.
+		var want units.Rate
+		c.Flows(func(f *FlowState) {
+			if f.OutPort() != 2 {
+				return
+			}
+			if c.now.Sub(f.LastSeen) > cfg.FlowFreshness {
+				return
+			}
+			if r, ok := f.Rate(); ok {
+				want += r
+			}
+		})
+		return c.LinkUtilization(2) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpiryRefiresFlowBoundary: a flow that is expired and then
+// re-arrives is a new flow as far as the collector's lifecycle is
+// concerned — its SYN re-fires FlowStart, and FirstSeen resets.
+func TestExpiryRefiresFlowBoundary(t *testing.T) {
+	prop := func(seed int64, rounds uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := newTestCollector()
+		var starts, ends int
+		c.SubscribeFlowBoundaries(func(_ units.Time, _ packet.FlowKey, kind BoundaryKind) {
+			if kind == FlowStart {
+				starts++
+			} else {
+				ends++
+			}
+		})
+		key := packet.FlowKey{SrcIP: ipA, DstIP: ipB, SrcPort: 1000, DstPort: 2000, Proto: packet.IPProtocolTCP}
+		n := 1 + int(rounds)%6
+		var t0 units.Time
+		var seq uint32
+		for round := 0; round < n; round++ {
+			// SYN opens the flow...
+			syn := packet.BuildTCP(nil, packet.TCPSpec{
+				SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+				SrcPort: 1000, DstPort: 2000, Seq: seq, Flags: packet.TCPSyn,
+			})
+			if c.Ingest(t0, syn) != nil {
+				return false
+			}
+			if starts != round+1 {
+				return false
+			}
+			f := c.Flow(key)
+			if f == nil || f.FirstSeen != t0 {
+				return false // FirstSeen must reset after each expiry
+			}
+			// ...data flows...
+			for i := 0; i < 1+rng.Intn(40); i++ {
+				t0 = t0.Add(units.Duration(1230))
+				seq += 1460
+				if c.Ingest(t0, tcpFrame(seq, 1460)) != nil {
+					return false
+				}
+			}
+			// ...then the flow goes idle past the expiry horizon.
+			t0 = t0.Add(20 * units.Millisecond)
+			if c.ExpireFlows(t0, 10*units.Millisecond) != 1 {
+				return false
+			}
+			if _, tracked := c.FlowRate(key); tracked {
+				return false
+			}
+		}
+		return starts == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreshnessExcludesStaleBeforeExpiry: between going quiet and being
+// expired, a flow's stale estimate is already excluded from utilization
+// by FlowFreshness — expiry then removes the record without changing
+// the (already-zero) contribution.
+func TestFreshnessExcludesStaleBeforeExpiry(t *testing.T) {
+	c := newTestCollector()
+	var t0 units.Time
+	var seq uint32
+	for i := 0; i < 2000; i++ {
+		c.Ingest(t0, tcpFrame(seq, 1460))
+		seq += 1460
+		t0 = t0.Add(units.Duration(1230))
+	}
+	if c.LinkUtilization(2) == 0 {
+		t.Fatal("no utilization while streaming")
+	}
+	// Advance the clock past FlowFreshness (5ms default) with an ARP so
+	// c.now moves but the flow stays untouched and unexpired.
+	arp := packet.BuildARP(nil, packet.ARPSpec{
+		SrcMAC: macA, DstMAC: macB, Op: packet.ARPRequest,
+		SenderMAC: macA, SenderIP: ipA, TargetIP: ipB,
+	})
+	c.Ingest(t0.Add(6*units.Millisecond), arp)
+	if got := c.LinkUtilization(2); got != 0 {
+		t.Fatalf("stale flow still contributes %v", got)
+	}
+	if c.Stats().Flows != 1 {
+		t.Fatal("flow expired prematurely")
+	}
+	// Expiry afterwards removes the record; utilization stays zero.
+	if n := c.ExpireFlows(t0.Add(20*units.Millisecond), 10*units.Millisecond); n != 1 {
+		t.Fatalf("expired %d", n)
+	}
+	if got := c.LinkUtilization(2); got != 0 {
+		t.Fatalf("post-expiry utilization %v", got)
+	}
+}

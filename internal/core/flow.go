@@ -137,6 +137,11 @@ type FlowState struct {
 	Pkt *PacketSeqEstimator
 
 	outPort int // cached output-port mapping, -1 unknown
+
+	// id is a process-wide dense identifier assigned by the sharded
+	// pipeline on first sight (0 = unassigned); the merger's flow view
+	// is indexed by it. Unused in serial operation.
+	id int32
 }
 
 // Rate returns the flow's latest throughput estimate.

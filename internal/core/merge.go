@@ -1,0 +1,353 @@
+package core
+
+// The merger is the sharded pipeline's sequential tail. Per-flow work
+// parallelizes cleanly (a flow's samples all land on one shard, in
+// order), but the collector's cross-flow outputs — link utilization,
+// threshold crossings, per-port event cooldown — are order-sensitive
+// reductions over the *interleaved* sample stream: whether sample k
+// fires an event depends on the rates of every flow on the link as of
+// sample k-1, whichever shards those flows live on. The merger
+// re-establishes that global order: shards emit one record per sample
+// carrying the dispatcher-assigned sequence number and the flow's
+// post-sample state, a reorder ring puts the records back into arrival
+// order, and the serial collector's exact congestion/boundary logic
+// replays against a compact cross-shard flow view. Because the replay
+// is single-threaded and in serial order over identical per-flow
+// values, the emitted event stream is the serial collector's event
+// stream — the property the serial-equivalence oracle checks.
+//
+// The reorder ring is bounded by construction: a record is in flight
+// only while its batch sits in a shard input queue, the shard's current
+// output batch, or the shared output channel, so at most
+// shards×(Queue+2)×Batch records can be ahead of the merger's cursor.
+// The ring grows to that high-water mark and stays there; no timer or
+// watermark protocol is needed because the dispatcher's sequence
+// numbers are dense (drops in lossy mode happen before assignment).
+
+import (
+	"sync"
+
+	"planck/internal/obs"
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// mergedFlow is the merger's replica of one flow's order-sensitive
+// state: exactly the fields the serial collector's congestion and query
+// paths read from FlowState, nothing else.
+type mergedFlow struct {
+	key      packet.FlowKey
+	dstMAC   packet.MAC
+	lastSeen units.Time
+	rate     units.Rate
+	rateOk   bool
+	port     int32 // current egress port, -1 unknown
+	portIdx  int32 // position in portFlows[port], -1 when unlisted
+	live     bool
+}
+
+// mergerView is the cross-shard flow view. The merger mutates it under
+// mu; the query path (LinkUtilization, FlowsOnPort, FlowRate) reads it
+// under RLock from any goroutine.
+type mergerView struct {
+	mu        sync.RWMutex
+	flows     []mergedFlow // indexed by FlowState.id; slot 0 unused
+	byKey     map[packet.FlowKey]int32
+	portFlows [][]int32 // flow ids per egress port
+	now       units.Time
+}
+
+// linkUtilization mirrors Collector.LinkUtilization over the view.
+// Callers hold v.mu.
+func (v *mergerView) linkUtilization(p int, fresh units.Duration) units.Rate {
+	if p < 0 || p >= len(v.portFlows) {
+		return 0
+	}
+	var util units.Rate
+	for _, id := range v.portFlows[p] {
+		f := &v.flows[id]
+		if v.now.Sub(f.lastSeen) > fresh {
+			continue
+		}
+		if f.rateOk {
+			util += f.rate
+		}
+	}
+	return util
+}
+
+// flowsOnPort mirrors Collector.FlowsOnPort over the view. Callers hold
+// v.mu.
+func (v *mergerView) flowsOnPort(p int, fresh units.Duration) []FlowInfo {
+	if p < 0 || p >= len(v.portFlows) {
+		return nil
+	}
+	out := make([]FlowInfo, 0, len(v.portFlows[p]))
+	for _, id := range v.portFlows[p] {
+		f := &v.flows[id]
+		if v.now.Sub(f.lastSeen) > fresh {
+			continue
+		}
+		out = append(out, FlowInfo{Key: f.key, DstMAC: f.dstMAC, Rate: f.rate, OutPort: p})
+	}
+	return out
+}
+
+// notice is a callback queued during a locked apply pass and fired
+// after unlock, so subscribers never run under the view lock (they may
+// re-enter the query API).
+type notice struct {
+	ev   *CongestionEvent // non-nil for congestion events
+	t    units.Time
+	key  packet.FlowKey
+	kind BoundaryKind
+}
+
+// merger owns the sequential tail: the reorder ring, the flow view, the
+// per-port cooldown clocks, and the subscriber lists.
+type merger struct {
+	sc        *ShardedCollector
+	view      mergerView
+	ord       reorder
+	lastEvent []units.Time
+	subs      []func(ev CongestionEvent)
+	boundary  []func(t units.Time, key packet.FlowKey, kind BoundaryKind)
+	events    obs.Counter
+	notices   []notice
+	tok       *flushToken
+}
+
+func (m *merger) init(s *ShardedCollector) {
+	m.sc = s
+	m.view.byKey = make(map[packet.FlowKey]int32)
+	m.view.flows = make([]mergedFlow, 1) // id 0 is never allocated
+	if s.cfg.NumPorts > 0 {
+		m.view.portFlows = make([][]int32, s.cfg.NumPorts)
+		m.lastEvent = make([]units.Time, s.cfg.NumPorts)
+		for i := range m.lastEvent {
+			m.lastEvent[i] = -1 << 62
+		}
+	}
+}
+
+// run is the merger goroutine: drain the shared output channel, insert
+// records into the reorder ring, apply the in-order prefix, fire queued
+// callbacks, acknowledge flush tokens.
+func (m *merger) run() {
+	for rb := range m.sc.out {
+		if rb.barrier != nil {
+			rb.barrier.remaining--
+			if rb.barrier.remaining == 0 {
+				m.tok = rb.barrier
+			}
+			m.maybeAck()
+			continue
+		}
+		m.view.mu.Lock()
+		for i := range rb.recs {
+			m.ord.insert(&rb.recs[i])
+		}
+		var r outRec
+		for m.ord.pop(&r) {
+			m.apply(&r)
+		}
+		m.view.mu.Unlock()
+		m.fire()
+		select {
+		case m.sc.freeRe[rb.shard] <- rb:
+		default:
+		}
+		m.maybeAck()
+	}
+}
+
+// maybeAck completes a Flush once every shard's barrier arrived and
+// every record the token covers has been applied.
+func (m *merger) maybeAck() {
+	if m.tok != nil && m.ord.next >= m.tok.seqEnd {
+		close(m.tok.done)
+		m.tok = nil
+	}
+}
+
+// fire delivers queued notices in stream order.
+func (m *merger) fire() {
+	for i := range m.notices {
+		n := &m.notices[i]
+		if n.ev != nil {
+			for _, fn := range m.subs {
+				fn(*n.ev)
+			}
+		} else {
+			for _, fn := range m.boundary {
+				fn(n.t, n.key, n.kind)
+			}
+		}
+	}
+	m.notices = m.notices[:0]
+}
+
+// apply folds one record into the view, replaying the serial
+// collector's order-sensitive effects for that sample: advance the
+// clock, update the flow's replicated state, track port membership,
+// queue boundary callbacks, and — when the sample closed an estimation
+// window — run the serial congestion check verbatim.
+func (m *merger) apply(r *outRec) {
+	v := &m.view
+	v.now = r.t
+	if r.kind != recFlow {
+		return
+	}
+	for int(r.id) >= len(v.flows) {
+		v.flows = append(v.flows, mergedFlow{port: -1, portIdx: -1})
+	}
+	f := &v.flows[r.id]
+	if !f.live {
+		f.live = true
+		f.key = r.key
+		f.port = -1
+		f.portIdx = -1
+		f.rate = 0
+		f.rateOk = false
+		v.byKey[r.key] = r.id
+	}
+	f.lastSeen = r.t
+	f.dstMAC = r.dstMAC
+	f.rate = r.rate
+	f.rateOk = r.rateOk
+	if f.port != r.port {
+		m.moveFlow(r.id, r.port)
+	}
+	if r.boundary != 0 && len(m.boundary) > 0 {
+		m.notices = append(m.notices, notice{t: r.t, key: r.key, kind: BoundaryKind(r.boundary - 1)})
+	}
+	if r.updated {
+		m.checkCongestion(r.t, int(r.port))
+	}
+}
+
+// checkCongestion is Collector.checkCongestion transplanted onto the
+// view: same early-outs, same threshold comparison, same cooldown
+// arithmetic, same event payload.
+func (m *merger) checkCongestion(t units.Time, p int) {
+	if p < 0 || p >= len(m.view.portFlows) || len(m.subs) == 0 {
+		return
+	}
+	util := m.view.linkUtilization(p, m.sc.cfg.FlowFreshness)
+	if float64(util) < m.sc.cfg.UtilThreshold*float64(m.sc.cfg.LinkRate) {
+		return
+	}
+	if t.Sub(m.lastEvent[p]) < m.sc.cfg.EventCooldown {
+		return
+	}
+	m.lastEvent[p] = t
+	ev := &CongestionEvent{
+		Time:       t,
+		SwitchName: m.sc.cfg.SwitchName,
+		Port:       p,
+		Util:       util,
+		Capacity:   m.sc.cfg.LinkRate,
+		Flows:      m.view.flowsOnPort(p, m.sc.cfg.FlowFreshness),
+	}
+	m.events.Inc()
+	m.notices = append(m.notices, notice{ev: ev})
+}
+
+// moveFlow changes a flow's port-list membership (swap-remove from the
+// old list, append to the new), matching remapFlow's bookkeeping.
+// Callers hold the view lock.
+func (m *merger) moveFlow(id, newPort int32) {
+	v := &m.view
+	f := &v.flows[id]
+	if f.port >= 0 && int(f.port) < len(v.portFlows) {
+		l := v.portFlows[f.port]
+		i := f.portIdx
+		last := int32(len(l) - 1)
+		l[i] = l[last]
+		v.flows[l[i]].portIdx = i
+		v.portFlows[f.port] = l[:last]
+	}
+	f.port = newPort
+	f.portIdx = -1
+	if newPort >= 0 && int(newPort) < len(v.portFlows) {
+		v.portFlows[newPort] = append(v.portFlows[newPort], id)
+		f.portIdx = int32(len(v.portFlows[newPort]) - 1)
+	}
+}
+
+// dropFlow removes an expired flow from the view. Callers hold the view
+// lock and own the control goroutine (quiescent pipeline).
+func (m *merger) dropFlow(id int32) {
+	if int(id) >= len(m.view.flows) {
+		return
+	}
+	f := &m.view.flows[id]
+	if !f.live {
+		return
+	}
+	m.moveFlow(id, -1)
+	delete(m.view.byKey, f.key)
+	*f = mergedFlow{port: -1, portIdx: -1}
+}
+
+// reorder is a growable ring buffer that returns records to global
+// arrival order. Sequence numbers are dense, so slot addressing is
+// plain offset arithmetic from the cursor.
+type reorder struct {
+	buf  []outRec
+	full []bool
+	base int    // slot holding sequence number next
+	next uint64 // cursor: lowest unapplied sequence number
+}
+
+func (o *reorder) insert(r *outRec) {
+	pos := int(r.seq - o.next)
+	if pos >= len(o.buf) {
+		o.grow(pos + 1)
+	}
+	idx := o.base + pos
+	if idx >= len(o.buf) {
+		idx -= len(o.buf)
+	}
+	o.buf[idx] = *r
+	o.full[idx] = true
+}
+
+// pop moves the record at the cursor into r, returning false when the
+// cursor's record has not arrived yet.
+func (o *reorder) pop(r *outRec) bool {
+	if len(o.buf) == 0 || !o.full[o.base] {
+		return false
+	}
+	*r = o.buf[o.base]
+	o.full[o.base] = false
+	o.base++
+	if o.base == len(o.buf) {
+		o.base = 0
+	}
+	o.next++
+	return true
+}
+
+func (o *reorder) grow(min int) {
+	n := len(o.buf) * 2
+	if n < 1024 {
+		n = 1024
+	}
+	for n < min {
+		n *= 2
+	}
+	buf := make([]outRec, n)
+	full := make([]bool, n)
+	for i := range o.buf {
+		idx := o.base + i
+		if idx >= len(o.buf) {
+			idx -= len(o.buf)
+		}
+		if o.full[idx] {
+			buf[i] = o.buf[idx]
+			full[i] = true
+		}
+	}
+	o.buf, o.full, o.base = buf, full, 0
+}

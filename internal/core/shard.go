@@ -1,0 +1,758 @@
+package core
+
+// This file implements the sharded concurrent collector pipeline. The
+// paper's collectors must keep up with the monitor port's line rate
+// (§3.2: netmap delivers "all of the mirrored traffic" to one core);
+// past one core's worth of traffic the only way forward is parallel
+// ingest that computes exactly what the serial pipeline computes.
+//
+// The design splits the serial Collector's work into three roles:
+//
+//	dispatcher (caller's goroutine)
+//	    timestamp monotonicity check, vantage-ring push, 5-tuple hash
+//	    partition, and batched hand-off: samples are copied into
+//	    per-shard batches (~64 samples) and published over bounded
+//	    SPSC-style channels, amortizing channel synchronization over
+//	    the whole batch.
+//	shard workers (one goroutine per shard)
+//	    each owns a private serial Collector — flow table, rate
+//	    estimators, port mapping — processing only the flows that hash
+//	    to it. A flow's entire sample subsequence lands on one shard in
+//	    arrival order, so every per-flow quantity (rate, OOO count,
+//	    stream bytes, boundary flags) is bit-identical to serial.
+//	merger (one goroutine)
+//	    per-sample records from the shards are re-sequenced by the
+//	    dispatcher-assigned global sequence number and folded, in exact
+//	    arrival order, into a lightweight cross-shard view: flow →
+//	    (egress port, rate, last-seen). Link utilization, congestion
+//	    thresholds, per-port event cooldown, and event emission run
+//	    here — single-threaded, in serial order — so the event stream
+//	    is semantically identical to the serial Collector's.
+//
+// The split keeps the expensive per-sample work (wire-format decode,
+// flow-table access, estimator arithmetic) parallel while the cheap
+// order-sensitive reduction (a slice update per sample, a per-port sum
+// per rate update) stays sequential. Equivalence is enforced by the
+// serial-equivalence oracle test (internal/lab), which replays identical
+// deterministic streams through a 1-shard and an N-shard pipeline under
+// the race detector and requires identical flow rates, utilizations,
+// congestion events, and counters.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"planck/internal/obs"
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// Hand-off defaults. 64-sample batches amortize the two channel
+// operations per hand-off to a fraction of a nanosecond per sample; 8
+// batches of queue give ~0.5K samples of slack per shard before the
+// dispatcher blocks (or drops, in lossy mode).
+const (
+	DefaultShardBatch = 64
+	DefaultShardQueue = 8
+)
+
+// maxShards bounds the shard count (shard indices are carried in
+// per-record bytes and metric labels; 256 is far beyond any host).
+const maxShards = 256
+
+// ShardedConfig tunes a ShardedCollector. The embedded Config applies to
+// every shard (Metrics and RingPackets are owned by the sharded pipeline
+// itself: instruments register once, and the vantage ring is kept in
+// global arrival order by the dispatcher).
+type ShardedConfig struct {
+	Config
+
+	// Shards is the number of parallel shard workers (default
+	// GOMAXPROCS).
+	Shards int
+	// Batch is the number of samples per hand-off batch (default 64).
+	Batch int
+	// Queue is the number of batches buffered per shard (default 8).
+	Queue int
+	// DropOnFull makes Ingest drop (and count) samples when a shard's
+	// queue is full instead of blocking — the same load-shedding
+	// semantics as the oversubscribed monitor port itself. Lossy mode
+	// trades serial equivalence for bounded ingest latency; the default
+	// is lossless back-pressure.
+	DropOnFull bool
+}
+
+func (c *ShardedConfig) fillDefaults() {
+	c.Config.fillDefaults()
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > maxShards {
+		c.Shards = maxShards
+	}
+	if c.Batch <= 0 {
+		c.Batch = DefaultShardBatch
+	}
+	if c.Queue <= 0 {
+		c.Queue = DefaultShardQueue
+	}
+}
+
+// sampleBatch is one dispatcher→shard hand-off unit: up to Batch frames
+// packed back-to-back in one reusable arena.
+type sampleBatch struct {
+	n    int
+	time []units.Time
+	seq  []uint64 // global arrival sequence numbers
+	off  []int32  // frame offsets into buf
+	ln   []int32
+	buf  []byte
+
+	// barrier, when non-nil, marks a flush token instead of samples.
+	barrier *flushToken
+}
+
+func newSampleBatch(batch int) *sampleBatch {
+	return &sampleBatch{
+		time: make([]units.Time, batch),
+		seq:  make([]uint64, batch),
+		off:  make([]int32, batch),
+		ln:   make([]int32, batch),
+	}
+}
+
+func (b *sampleBatch) reset() {
+	b.n = 0
+	b.buf = b.buf[:0]
+	b.barrier = nil
+}
+
+// Record kinds forwarded from shards to the merger.
+const (
+	recSkip = uint8(iota) // no flow touched (ARP, decode error, plain UDP)
+	recFlow               // flow-table update
+)
+
+// outRec is one sample's result, forwarded shard→merger. It carries
+// everything the merger needs to replay the serial collector's
+// order-sensitive effects: flow identity and routing label, the rate
+// estimate after this sample, and whether the estimator closed a window
+// (the serial trigger for a congestion check).
+type outRec struct {
+	seq      uint64
+	t        units.Time
+	key      packet.FlowKey
+	dstMAC   packet.MAC
+	rate     units.Rate
+	id       int32
+	port     int32
+	kind     uint8
+	boundary uint8 // 0 none, 1 FlowStart+1, 2 FlowEnd+1
+	rateOk   bool
+	updated  bool
+}
+
+// recBatch is one shard→merger hand-off unit.
+type recBatch struct {
+	shard   int
+	recs    []outRec
+	barrier *flushToken
+}
+
+// flushToken synchronizes Flush: the dispatcher hands one to every
+// shard; each shard forwards it to the merger behind its last record;
+// the merger closes done once all shards' tokens arrived and every
+// record up to seqEnd has been applied.
+type flushToken struct {
+	seqEnd    uint64
+	remaining int
+	done      chan struct{}
+}
+
+// ShardedCollector is a concurrent collector pipeline that computes
+// exactly what a serial Collector computes (see the file comment for the
+// architecture and the equivalence argument).
+//
+// Threading contract: Ingest, Flush, Close, ExpireFlows, and
+// SetPortMapper belong to one control goroutine (the sample source).
+// Subscribe and SubscribeFlowBoundaries must be called before the first
+// Ingest; callbacks fire on the merger goroutine, in serial stream
+// order, and must not call back into the ShardedCollector. The
+// monitoring read path (Stats counters, LinkUtilization, FlowsOnPort,
+// FlowRate) is safe from any goroutine at any time and never takes a
+// lock shared with the shard workers; Flow/Flows, which expose shard
+// internals, require quiescence (call Flush first).
+type ShardedCollector struct {
+	cfg     ShardedConfig
+	workers []*shardWorker
+
+	in     []chan *sampleBatch
+	freeIn []chan *sampleBatch
+	out    chan *recBatch
+	freeRe []chan *recBatch
+
+	pending  []*sampleBatch // dispatcher's partially filled batches
+	now      units.Time
+	seq      uint64
+	sweepSeq uint64 // seq at the last partial-batch sweep
+	ring     *Ring
+	closed   bool
+
+	idAlloc atomic.Int32
+
+	mg merger
+
+	wgShards sync.WaitGroup
+	mergerWG sync.WaitGroup
+
+	// Per-shard hand-off instruments.
+	dropped   []obs.Counter
+	batches   []obs.Counter
+	batchSize []*obs.Histogram
+}
+
+// shardWorker is one shard goroutine's state: a private serial Collector
+// plus the record currently being filled (so the flow-boundary hook can
+// annotate it from inside Ingest).
+type shardWorker struct {
+	sc  *ShardedCollector
+	id  int
+	col *Collector
+	cur *outRec
+	rb  *recBatch
+}
+
+// NewSharded builds and starts a sharded collector pipeline. The shard
+// goroutines and the merger run until Close.
+func NewSharded(cfg ShardedConfig) *ShardedCollector {
+	cfg.fillDefaults()
+	s := &ShardedCollector{cfg: cfg}
+	n := cfg.Shards
+
+	shardCfg := cfg.Config
+	shardCfg.Metrics = nil   // instruments register once, below
+	shardCfg.RingPackets = 0 // the dispatcher owns the ring
+
+	s.workers = make([]*shardWorker, n)
+	s.in = make([]chan *sampleBatch, n)
+	s.freeIn = make([]chan *sampleBatch, n)
+	s.freeRe = make([]chan *recBatch, n)
+	s.out = make(chan *recBatch, cfg.Queue*n)
+	s.pending = make([]*sampleBatch, n)
+	s.dropped = make([]obs.Counter, n)
+	s.batches = make([]obs.Counter, n)
+	s.batchSize = make([]*obs.Histogram, n)
+
+	for i := 0; i < n; i++ {
+		w := &shardWorker{sc: s, id: i, col: New(shardCfg)}
+		// The boundary hook annotates the in-flight record; the merger
+		// re-fires boundaries in serial order.
+		w.col.SubscribeFlowBoundaries(func(_ units.Time, _ packet.FlowKey, kind BoundaryKind) {
+			if w.cur != nil {
+				w.cur.boundary = uint8(kind) + 1
+			}
+		})
+		s.workers[i] = w
+		s.in[i] = make(chan *sampleBatch, cfg.Queue)
+		s.freeIn[i] = make(chan *sampleBatch, cfg.Queue+2)
+		s.freeRe[i] = make(chan *recBatch, cfg.Queue+2)
+	}
+	if cfg.RingPackets > 0 {
+		s.ring = NewRing(cfg.RingPackets)
+	}
+	s.mg.init(s)
+	if cfg.Metrics != nil {
+		s.register(cfg.Metrics)
+	}
+
+	for i := 0; i < n; i++ {
+		s.wgShards.Add(1)
+		go s.shardLoop(i)
+	}
+	go func() {
+		s.wgShards.Wait()
+		close(s.out)
+	}()
+	s.mergerWG.Add(1)
+	go func() {
+		defer s.mergerWG.Done()
+		s.mg.run()
+	}()
+	return s
+}
+
+// register exposes the pipeline's instruments: per-shard hand-off health
+// (queue depth, drops, batches, batch sizes) plus aggregates under the
+// serial collector's metric names, so dashboards work unchanged.
+func (s *ShardedCollector) register(r *obs.Registry) {
+	var swl []string
+	if s.cfg.SwitchName != "" {
+		swl = []string{obs.Label("switch", s.cfg.SwitchName)}
+	}
+	for i := range s.workers {
+		labels := append(append([]string{}, swl...), obs.Label("shard", strconv.Itoa(i)))
+		in := s.in[i]
+		r.GaugeFunc("planck_shard_queue_depth", func() float64 { return float64(len(in)) }, labels...)
+		r.MustRegister("planck_shard_dropped_total", &s.dropped[i], labels...)
+		r.MustRegister("planck_shard_batches_total", &s.batches[i], labels...)
+		s.batchSize[i] = r.Histogram("planck_shard_batch_samples", 1, labels...)
+	}
+	r.MustRegister("planck_collector_congestion_events_total", &s.mg.events, swl...)
+	r.GaugeFunc("planck_collector_samples_total", func() float64 {
+		var v int64
+		for _, w := range s.workers {
+			v += w.col.met.samples.Value()
+		}
+		return float64(v)
+	}, swl...)
+	r.GaugeFunc("planck_collector_flow_table_size", func() float64 {
+		var v int64
+		for _, w := range s.workers {
+			v += w.col.met.flowTableSize.Value()
+		}
+		return float64(v)
+	}, swl...)
+}
+
+// NumShards returns the shard count.
+func (s *ShardedCollector) NumShards() int { return len(s.workers) }
+
+// SetPortMapper installs (or, at a quiescent point, replaces) the
+// routing state on every shard, re-resolving live flows exactly like the
+// serial collector, and re-syncs the merger's port view.
+func (s *ShardedCollector) SetPortMapper(m PortMapper) {
+	s.Flush()
+	for _, w := range s.workers {
+		w.col.SetPortMapper(m)
+	}
+	v := &s.mg.view
+	v.mu.Lock()
+	for _, w := range s.workers {
+		for _, f := range w.col.flows {
+			if f.id > 0 && int(f.id) < len(v.flows) && v.flows[f.id].live {
+				s.mg.moveFlow(f.id, int32(f.outPort))
+			}
+		}
+	}
+	v.mu.Unlock()
+}
+
+// Subscribe registers fn for congestion events. Call before the first
+// Ingest; fn runs on the merger goroutine in serial stream order.
+func (s *ShardedCollector) Subscribe(fn func(ev CongestionEvent)) {
+	s.mg.subs = append(s.mg.subs, fn)
+}
+
+// SubscribeFlowBoundaries registers fn for flow start/end observations.
+// Call before the first Ingest; fn runs on the merger goroutine.
+func (s *ShardedCollector) SubscribeFlowBoundaries(fn func(t units.Time, key packet.FlowKey, kind BoundaryKind)) {
+	s.mg.boundary = append(s.mg.boundary, fn)
+}
+
+// flowShard hash-partitions a frame by its transport 5-tuple, peeking at
+// the raw bytes (the full decode happens on the shard). Frames without a
+// recognizable transport flow carry no flow-table state, so any stable
+// assignment works; they go to shard 0. FNV-1a over the 13 key bytes.
+func (s *ShardedCollector) flowShard(frame []byte) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	if len(frame) < packet.EthernetHeaderLen+packet.IPv4MinHeaderLen {
+		return 0
+	}
+	if frame[12] != 0x08 || frame[13] != 0x00 {
+		return 0
+	}
+	ip := frame[packet.EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return 0
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < packet.IPv4MinHeaderLen || len(ip) < ihl+4 {
+		return 0
+	}
+	proto := ip[9]
+	if proto != uint8(packet.IPProtocolTCP) && proto != uint8(packet.IPProtocolUDP) {
+		return 0
+	}
+	h := uint64(offset64)
+	for _, b := range ip[12:20] { // src + dst IPv4
+		h = (h ^ uint64(b)) * prime64
+	}
+	for _, b := range ip[ihl : ihl+4] { // src + dst port
+		h = (h ^ uint64(b)) * prime64
+	}
+	h = (h ^ uint64(proto)) * prime64
+	// Avalanche before reducing: FNV-1a's low bits barely mix (each step
+	// is xor-then-odd-multiply, so mod 2^k the state is nearly a function
+	// of the inputs mod 2^k), and flow populations with correlated low
+	// bytes — sequential ports, sequential addresses — collapse onto one
+	// shard under a plain modulo. The 64-bit finalizer below (Murmur3's
+	// fmix64) spreads every input bit across the word first.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(len(s.workers)))
+}
+
+// Ingest accepts one sampled frame captured at time t, hash-partitions
+// it, and hands it to its shard. Timestamps must be non-decreasing. The
+// frame buffer is only borrowed for the call (it is copied into the
+// batch arena). Decode failures are counted in Stats, not returned;
+// only a timestamp regression is an error, mirroring the serial
+// collector's contract at the pipeline boundary.
+func (s *ShardedCollector) Ingest(t units.Time, frame []byte) error {
+	if t < s.now {
+		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, s.now)
+	}
+	s.now = t
+	if s.ring != nil {
+		s.ring.Push(t, frame)
+	}
+	// Sweep stale partial batches periodically. Without this, a shard
+	// whose flows go quiet can hold an unsent partial batch forever; the
+	// merger cannot advance past those sequence numbers, so its reorder
+	// ring would grow without bound while the busy shards stream. The
+	// sweep bounds any sample's time in a partial batch to one sweep
+	// period (Shards×Batch samples), which also bounds event latency
+	// under skewed traffic; its O(Shards) scan amortizes to O(1/Batch)
+	// per sample.
+	if s.seq-s.sweepSeq >= uint64(s.cfg.Batch*len(s.workers)) {
+		s.sweep()
+	}
+	sh := s.flowShard(frame)
+	b := s.pending[sh]
+	if b == nil {
+		b = s.getBatch(sh)
+		s.pending[sh] = b
+	}
+	if b.n == s.cfg.Batch {
+		n := b.n
+		if s.cfg.DropOnFull {
+			select {
+			case s.in[sh] <- b:
+				s.finishSend(sh, n)
+				b = s.getBatch(sh)
+				s.pending[sh] = b
+			default:
+				s.dropped[sh].Inc()
+				return nil
+			}
+		} else {
+			s.in[sh] <- b
+			s.finishSend(sh, n)
+			b = s.getBatch(sh)
+			s.pending[sh] = b
+		}
+	}
+	i := b.n
+	b.time[i] = t
+	b.seq[i] = s.seq
+	b.off[i] = int32(len(b.buf))
+	b.ln[i] = int32(len(frame))
+	b.buf = append(b.buf, frame...)
+	b.n++
+	s.seq++
+	return nil
+}
+
+// finishSend records hand-off telemetry for a batch of n samples. It
+// takes the count, not the batch: once the batch is on the channel the
+// shard owns it, and reading b.n here would race with the worker.
+func (s *ShardedCollector) finishSend(sh, n int) {
+	s.batches[sh].Inc()
+	if h := s.batchSize[sh]; h != nil {
+		h.Observe(int64(n))
+	}
+}
+
+// sweep hands every non-empty partial batch to its shard. The sends
+// block when a queue is full, even in lossy mode: these samples already
+// carry sequence numbers, so dropping them would leave gaps the merger
+// can never fill. The shard workers always drain, so the block is
+// bounded by one queue's worth of processing.
+func (s *ShardedCollector) sweep() {
+	s.sweepSeq = s.seq
+	for sh, b := range s.pending {
+		if b != nil && b.n > 0 {
+			n := b.n
+			s.in[sh] <- b
+			s.finishSend(sh, n)
+			s.pending[sh] = nil
+		}
+	}
+}
+
+func (s *ShardedCollector) getBatch(sh int) *sampleBatch {
+	select {
+	case b := <-s.freeIn[sh]:
+		b.reset()
+		return b
+	default:
+		return newSampleBatch(s.cfg.Batch)
+	}
+}
+
+// Flush drains the pipeline: every sample accepted before the call is
+// fully processed — shard flow tables updated, merger view current, all
+// events delivered — before Flush returns. Call it before reading
+// quiescent-only state or at a batch boundary of the sample source.
+func (s *ShardedCollector) Flush() {
+	if s.closed {
+		return
+	}
+	tok := &flushToken{seqEnd: s.seq, remaining: len(s.workers), done: make(chan struct{})}
+	for sh, b := range s.pending {
+		if b != nil && b.n > 0 {
+			n := b.n
+			s.in[sh] <- b
+			s.finishSend(sh, n)
+			s.pending[sh] = nil
+		}
+	}
+	for sh := range s.workers {
+		s.in[sh] <- &sampleBatch{barrier: tok}
+	}
+	<-tok.done
+}
+
+// Close flushes the pipeline and stops its goroutines. The collector
+// must not be used after Close.
+func (s *ShardedCollector) Close() {
+	if s.closed {
+		return
+	}
+	s.Flush()
+	s.closed = true
+	for sh := range s.in {
+		close(s.in[sh])
+	}
+	s.mergerWG.Wait()
+}
+
+// shardLoop is one shard worker: it drains its input queue, runs every
+// sample through its private serial Collector, and forwards per-sample
+// records to the merger.
+func (s *ShardedCollector) shardLoop(id int) {
+	defer s.wgShards.Done()
+	w := s.workers[id]
+	for b := range s.in[id] {
+		if b.barrier != nil {
+			w.flushRecs()
+			s.out <- &recBatch{shard: id, barrier: b.barrier}
+			continue
+		}
+		for i := 0; i < b.n; i++ {
+			rec := w.nextRec()
+			w.process(b.time[i], b.buf[b.off[i]:b.off[i]+b.ln[i]], b.seq[i], rec)
+		}
+		select {
+		case s.freeIn[id] <- b:
+		default:
+		}
+	}
+	w.flushRecs()
+}
+
+func (w *shardWorker) nextRec() *outRec {
+	if w.rb == nil {
+		select {
+		case rb := <-w.sc.freeRe[w.id]:
+			rb.recs = rb.recs[:0]
+			rb.barrier = nil
+			w.rb = rb
+		default:
+			w.rb = &recBatch{shard: w.id, recs: make([]outRec, 0, w.sc.cfg.Batch)}
+		}
+	}
+	w.rb.recs = append(w.rb.recs, outRec{})
+	return &w.rb.recs[len(w.rb.recs)-1]
+}
+
+func (w *shardWorker) flushRecs() {
+	if w.rb != nil && len(w.rb.recs) > 0 {
+		w.sc.out <- w.rb
+		w.rb = nil
+	}
+}
+
+// process runs one sample through the shard's serial Collector and
+// captures its observable effects in rec.
+func (w *shardWorker) process(t units.Time, frame []byte, seq uint64, rec *outRec) {
+	rec.seq = seq
+	rec.t = t
+	rec.kind = recSkip
+	rec.boundary = 0
+	w.cur = rec
+	c := w.col
+	ruBefore := c.met.rateUpdates.Value()
+	err := c.Ingest(t, frame)
+	w.cur = nil
+	if err != nil {
+		return // decode failure: counted by the shard collector
+	}
+	d := &c.dec
+	if !d.Has(packet.LayerTCP) && !(c.cfg.UDPSeqEnabled && d.Has(packet.LayerUDP)) {
+		return
+	}
+	key, ok := d.Flow()
+	if !ok {
+		return
+	}
+	f := c.flows[key]
+	if f == nil {
+		return // e.g. UDP datagram too short to carry the counter
+	}
+	if f.id == 0 {
+		f.id = w.sc.idAlloc.Add(1)
+	}
+	rec.kind = recFlow
+	rec.id = f.id
+	rec.key = key
+	rec.dstMAC = f.DstMAC
+	rec.port = int32(f.outPort)
+	rec.rate, rec.rateOk = f.Rate()
+	rec.updated = c.met.rateUpdates.Value() > ruBefore
+	if len(w.rb.recs) == cap(w.rb.recs) {
+		w.flushRecs()
+	}
+}
+
+// Stats returns the merged counters across shards plus the merger's
+// event count. Counter fields are safe to read live (they are atomic
+// sums); Flows and OutOfOrder walk shard flow tables and are only
+// well-defined at quiescence (after Flush).
+func (s *ShardedCollector) Stats() Stats {
+	var st Stats
+	for _, w := range s.workers {
+		ws := w.col.Stats()
+		st.Samples += ws.Samples
+		st.DecodeErrors += ws.DecodeErrors
+		st.NonTCP += ws.NonTCP
+		st.Flows += ws.Flows
+		st.RateUpdates += ws.RateUpdates
+		st.OutOfOrder += ws.OutOfOrder
+		st.UnmappedOutput += ws.UnmappedOutput
+	}
+	st.EventsEmitted = s.mg.events.Value()
+	return st
+}
+
+// Shard returns shard i's underlying serial Collector for inspection.
+// Only meaningful at quiescence (after Flush).
+func (s *ShardedCollector) Shard(i int) *Collector { return s.workers[i].col }
+
+// Dropped returns the total samples shed across shards (always 0 unless
+// DropOnFull is set).
+func (s *ShardedCollector) Dropped() int64 {
+	var n int64
+	for i := range s.dropped {
+		n += s.dropped[i].Value()
+	}
+	return n
+}
+
+// FlowRate answers the per-flow query API from the merger's view; safe
+// from any goroutine (values are as of the last merged sample).
+func (s *ShardedCollector) FlowRate(k packet.FlowKey) (units.Rate, bool) {
+	v := &s.mg.view
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	id, ok := v.byKey[k]
+	if !ok {
+		return 0, false
+	}
+	f := &v.flows[id]
+	if !f.rateOk {
+		return 0, false
+	}
+	return f.rate, true
+}
+
+// Flow returns the full flow record for k, or nil. Quiescent-only.
+func (s *ShardedCollector) Flow(k packet.FlowKey) *FlowState {
+	for _, w := range s.workers {
+		if f := w.col.flows[k]; f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Flows iterates over all flow records across shards. Quiescent-only.
+func (s *ShardedCollector) Flows(fn func(f *FlowState)) {
+	for _, w := range s.workers {
+		w.col.Flows(fn)
+	}
+}
+
+// LinkUtilization sums the fresh flow-rate estimates mapped to egress
+// port p across every shard, from the merger's view; safe from any
+// goroutine.
+func (s *ShardedCollector) LinkUtilization(p int) units.Rate {
+	v := &s.mg.view
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.linkUtilization(p, s.cfg.FlowFreshness)
+}
+
+// FlowsOnPort snapshots the fresh flows mapped to egress port p; safe
+// from any goroutine.
+func (s *ShardedCollector) FlowsOnPort(p int) []FlowInfo {
+	v := &s.mg.view
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.flowsOnPort(p, s.cfg.FlowFreshness)
+}
+
+// ExpireFlows drops flow records idle longer than idle from every shard
+// and the merger view, returning how many were removed. It implies a
+// Flush; call from the control goroutine.
+func (s *ShardedCollector) ExpireFlows(now units.Time, idle units.Duration) int {
+	s.Flush()
+	v := &s.mg.view
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, w := range s.workers {
+		c := w.col
+		removed := 0
+		for k, f := range c.flows {
+			if now.Sub(f.LastSeen) > idle {
+				if f.outPort >= 0 && f.outPort < len(c.portFlows) {
+					c.portFlows[f.outPort] = removeFlow(c.portFlows[f.outPort], f)
+				}
+				delete(c.flows, k)
+				if f.id > 0 {
+					s.mg.dropFlow(f.id)
+				}
+				removed++
+			}
+		}
+		if removed > 0 {
+			c.met.flowTableSize.Set(int64(len(c.flows)))
+		}
+		n += removed
+	}
+	return n
+}
+
+// DumpPcap writes the vantage-point ring to w as a pcap file (§6.1).
+// The ring is owned by the dispatcher, in global arrival order; call
+// from the control goroutine.
+func (s *ShardedCollector) DumpPcap(w io.Writer) error {
+	if s.ring == nil {
+		return fmt.Errorf("core: sharded collector %q has no sample ring", s.cfg.SwitchName)
+	}
+	return s.ring.WritePcap(w)
+}
+
+// RingBuffer exposes the vantage-point buffer (nil when disabled).
+func (s *ShardedCollector) RingBuffer() *Ring { return s.ring }

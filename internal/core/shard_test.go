@@ -1,0 +1,476 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// --- serial-equivalence harness ---
+//
+// The sharded pipeline's contract is that it computes exactly what the
+// serial Collector computes. This file checks the contract at the unit
+// level over an adversarial synthetic stream (flow skew, reroutes,
+// boundaries, UDP counters, decode garbage, mid-stream expiry and
+// mapper swaps); the lab-level oracle (internal/lab) re-checks it over
+// tcpsim/switchsim-generated traffic.
+
+type timedFrame struct {
+	t units.Time
+	b []byte
+}
+
+// mixedStream generates a deterministic adversarial sample stream:
+// TCP flows of very different intensities across several egress ports
+// (including an unmappable destination), reroute label changes,
+// SYN/FIN boundary packets, occasional sequence regressions, UDP flows
+// with and without the §3.2.2 payload counter, ARP, and truncated
+// garbage.
+func mixedStream(seed int64, n int) []timedFrame {
+	rng := rand.New(rand.NewSource(seed))
+	macC := packet.MAC{0x02, 0, 0, 0, 0, 3}
+	macUnmapped := packet.MAC{0x02, 0, 0, 0, 0, 9}
+	shadow := packet.MAC{0x02, 1, 0, 0, 0, 2}
+
+	type flow struct {
+		src, dst uint16
+		mac      packet.MAC
+		seq      uint32
+		bytesPer uint32
+		weight   int
+	}
+	flows := make([]*flow, 0, 10)
+	macs := []packet.MAC{macB, macC, shadow, macUnmapped}
+	for i := 0; i < 10; i++ {
+		flows = append(flows, &flow{
+			src: uint16(1000 + i), dst: 2000,
+			mac:      macs[i%len(macs)],
+			seq:      rng.Uint32(),
+			bytesPer: 1460,
+			weight:   1 + rng.Intn(8), // skewed sampling intensity
+		})
+	}
+
+	var udpSeq uint32
+	var t units.Time
+	out := make([]timedFrame, 0, n)
+	emit := func(b []byte) {
+		cp := append([]byte(nil), b...)
+		out = append(out, timedFrame{t: t, b: cp})
+		t = t.Add(units.Duration(rng.Int63n(int64(3 * units.Microsecond))))
+	}
+
+	// Open every flow with a SYN so FlowStart boundaries exist.
+	for _, f := range flows {
+		emit(packet.BuildTCP(nil, packet.TCPSpec{
+			SrcMAC: macA, DstMAC: f.mac, SrcIP: ipA, DstIP: ipB,
+			SrcPort: f.src, DstPort: f.dst, Seq: f.seq, Flags: packet.TCPSyn,
+		}))
+	}
+
+	for len(out) < n {
+		switch r := rng.Intn(100); {
+		case r < 72: // weighted TCP data sample
+			f := flows[rng.Intn(len(flows))]
+			for w := 0; w < f.weight && len(out) < n; w++ {
+				seq := f.seq
+				if rng.Intn(50) == 0 {
+					seq -= 3 * f.bytesPer // retransmission: sequence regression
+				} else {
+					f.seq += f.bytesPer
+				}
+				emit(packet.BuildTCP(nil, packet.TCPSpec{
+					SrcMAC: macA, DstMAC: f.mac, SrcIP: ipA, DstIP: ipB,
+					SrcPort: f.src, DstPort: f.dst, Seq: seq,
+					Flags: packet.TCPAck, PayloadLen: int(f.bytesPer),
+				}))
+			}
+		case r < 78: // reroute: same 5-tuple, new routing label
+			f := flows[rng.Intn(len(flows))]
+			f.mac = macs[rng.Intn(len(macs))]
+		case r < 82: // FIN, then reopen with a SYN later
+			f := flows[rng.Intn(len(flows))]
+			emit(packet.BuildTCP(nil, packet.TCPSpec{
+				SrcMAC: macA, DstMAC: f.mac, SrcIP: ipA, DstIP: ipB,
+				SrcPort: f.src, DstPort: f.dst, Seq: f.seq,
+				Flags: packet.TCPFin | packet.TCPAck,
+			}))
+		case r < 88: // UDP with the §3.2.2 payload counter
+			udpSeq++
+			emit(packet.BuildUDP(nil, packet.UDPSpec{
+				SrcMAC: macA, DstMAC: macC, SrcIP: ipA, DstIP: ipB,
+				SrcPort: 4000, DstPort: 4001, PayloadLen: 400,
+				Seq: udpSeq, HasSeq: true,
+			}))
+		case r < 92: // UDP too short to carry the counter
+			emit(packet.BuildUDP(nil, packet.UDPSpec{
+				SrcMAC: macA, DstMAC: macC, SrcIP: ipA, DstIP: ipB,
+				SrcPort: 4000, DstPort: 4002, PayloadLen: 2,
+			}))
+		case r < 96: // ARP
+			emit(packet.BuildARP(nil, packet.ARPSpec{
+				SrcMAC: macA, DstMAC: macB, Op: packet.ARPRequest,
+				SenderMAC: macA, SenderIP: ipA, TargetIP: ipB,
+			}))
+		default: // truncated garbage: decode must fail, never panic
+			full := packet.BuildTCP(nil, packet.TCPSpec{
+				SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+				SrcPort: 9, DstPort: 9, PayloadLen: 64,
+			})
+			emit(full[:rng.Intn(len(full))])
+		}
+	}
+	return out[:n]
+}
+
+type boundaryRec struct {
+	t    units.Time
+	key  packet.FlowKey
+	kind BoundaryKind
+}
+
+// runResult captures everything observable from one collector run.
+type runResult struct {
+	stats  Stats
+	utils  []units.Rate
+	rates  map[packet.FlowKey]units.Rate
+	events []CongestionEvent
+	bounds []boundaryRec
+}
+
+func keyString(k packet.FlowKey) string { return fmt.Sprintf("%+v", k) }
+
+func normalizeEvents(evs []CongestionEvent) {
+	for i := range evs {
+		fl := evs[i].Flows
+		sort.Slice(fl, func(a, b int) bool { return keyString(fl[a].Key) < keyString(fl[b].Key) })
+	}
+}
+
+// equivCollector abstracts the serial and sharded pipelines behind the
+// operations the equivalence stream performs.
+type equivCollector interface {
+	Ingest(t units.Time, frame []byte) error
+	Subscribe(fn func(ev CongestionEvent))
+	SubscribeFlowBoundaries(fn func(t units.Time, key packet.FlowKey, kind BoundaryKind))
+	SetPortMapper(m PortMapper)
+	ExpireFlows(now units.Time, idle units.Duration) int
+	LinkUtilization(p int) units.Rate
+	FlowRate(k packet.FlowKey) (units.Rate, bool)
+	Stats() Stats
+}
+
+func equivConfig() Config {
+	return Config{
+		SwitchName: "sw0",
+		NumPorts:   4,
+		// 1 Gbps links so the skewed TCP flows cross the 90% threshold
+		// regularly and the event/cooldown path is exercised hard.
+		LinkRate: units.Rate(1_000_000_000),
+	}
+}
+
+// runEquiv replays stream through col with a mid-stream expiry and a
+// mid-stream PortMapper swap, then snapshots all observable state.
+// flush is called at quiescence points (no-op for the serial path).
+func runEquiv(t *testing.T, col equivCollector, stream []timedFrame, flush func()) runResult {
+	t.Helper()
+	res := runResult{rates: make(map[packet.FlowKey]units.Rate)}
+	col.Subscribe(func(ev CongestionEvent) { res.events = append(res.events, ev) })
+	col.SubscribeFlowBoundaries(func(bt units.Time, key packet.FlowKey, kind BoundaryKind) {
+		res.bounds = append(res.bounds, boundaryRec{t: bt, key: key, kind: kind})
+	})
+	mapper1 := staticMapper{
+		macB.U64():                            2,
+		packet.MAC{0x02, 0, 0, 0, 0, 3}.U64(): 1,
+		packet.MAC{0x02, 1, 0, 0, 0, 2}.U64(): 3,
+	}
+	mapper2 := staticMapper{ // reroute wave: ports shuffle, shadow goes dark
+		macB.U64():                            0,
+		packet.MAC{0x02, 0, 0, 0, 0, 3}.U64(): 2,
+	}
+	col.SetPortMapper(mapper1)
+	for i, tf := range stream {
+		if err := col.Ingest(tf.t, tf.b); err != nil {
+			// Decode errors are counted, not returned, by both pipelines;
+			// the serial path returns them. Either way the stream goes on.
+			_ = err
+		}
+		if i == len(stream)/2 {
+			col.ExpireFlows(tf.t, 500*units.Microsecond)
+		}
+		if i == len(stream)*3/4 {
+			flush()
+			col.SetPortMapper(mapper2)
+		}
+	}
+	flush()
+	res.stats = col.Stats()
+	for p := 0; p < 4; p++ {
+		res.utils = append(res.utils, col.LinkUtilization(p))
+	}
+	var dec packet.Decoded
+	for _, tf := range stream {
+		if dec.Decode(tf.b) == nil {
+			if key, ok := dec.Flow(); ok {
+				if r, ok := col.FlowRate(key); ok {
+					res.rates[key] = r
+				}
+			}
+		}
+	}
+	normalizeEvents(res.events)
+	return res
+}
+
+func compareRuns(t *testing.T, label string, serial, sharded runResult) {
+	t.Helper()
+	if serial.stats != sharded.stats {
+		t.Errorf("%s: stats differ\n serial:  %+v\n sharded: %+v", label, serial.stats, sharded.stats)
+	}
+	for p := range serial.utils {
+		if serial.utils[p] != sharded.utils[p] {
+			t.Errorf("%s: port %d utilization %v != %v", label, p, serial.utils[p], sharded.utils[p])
+		}
+	}
+	if len(serial.rates) != len(sharded.rates) {
+		t.Errorf("%s: tracked flows %d != %d", label, len(serial.rates), len(sharded.rates))
+	}
+	for k, r := range serial.rates {
+		if sr, ok := sharded.rates[k]; !ok || sr != r {
+			t.Errorf("%s: flow %v rate %v != %v (ok=%v)", label, k, r, sr, ok)
+		}
+	}
+	if len(serial.bounds) != len(sharded.bounds) {
+		t.Fatalf("%s: boundary count %d != %d", label, len(serial.bounds), len(sharded.bounds))
+	}
+	for i := range serial.bounds {
+		if serial.bounds[i] != sharded.bounds[i] {
+			t.Errorf("%s: boundary %d: %+v != %+v", label, i, serial.bounds[i], sharded.bounds[i])
+		}
+	}
+	if len(serial.events) != len(sharded.events) {
+		t.Fatalf("%s: event count %d != %d", label, len(serial.events), len(sharded.events))
+	}
+	for i := range serial.events {
+		a, b := serial.events[i], sharded.events[i]
+		if a.Time != b.Time || a.Port != b.Port || a.Util != b.Util ||
+			a.Capacity != b.Capacity || a.SwitchName != b.SwitchName {
+			t.Errorf("%s: event %d differs\n serial:  %+v\n sharded: %+v", label, i, a, b)
+			continue
+		}
+		if len(a.Flows) != len(b.Flows) {
+			t.Errorf("%s: event %d flow count %d != %d", label, i, len(a.Flows), len(b.Flows))
+			continue
+		}
+		for j := range a.Flows {
+			if a.Flows[j] != b.Flows[j] {
+				t.Errorf("%s: event %d flow %d: %+v != %+v", label, i, j, a.Flows[j], b.Flows[j])
+			}
+		}
+	}
+}
+
+func TestShardedSerialEquivalence(t *testing.T) {
+	const samples = 12000
+	for _, seed := range []int64{1, 42} {
+		stream := mixedStream(seed, samples)
+		cfg := equivConfig()
+		cfg.UDPSeqEnabled = true
+		serialCol := New(cfg)
+		serial := runEquiv(t, serialCol, stream, func() {})
+		for _, shards := range []int{1, 2, 4, 8} {
+			sc := NewSharded(ShardedConfig{Config: cfg, Shards: shards, Batch: 16, Queue: 4})
+			got := runEquiv(t, sc, stream, sc.Flush)
+			sc.Close()
+			compareRuns(t, fmt.Sprintf("seed=%d shards=%d", seed, shards), serial, got)
+		}
+	}
+}
+
+// The dispatcher's hash partition must be stable (a flow's samples may
+// never migrate between shards) and in range.
+func TestFlowShardStableAndInRange(t *testing.T) {
+	sc := NewSharded(ShardedConfig{Config: equivConfig(), Shards: 4})
+	defer sc.Close()
+	seen := make(map[string]int)
+	for i := 0; i < 200; i++ {
+		f := packet.BuildTCP(nil, packet.TCPSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+			SrcPort: uint16(1000 + i%10), DstPort: 2000,
+			Seq: uint32(i * 1460), Flags: packet.TCPAck, PayloadLen: 1460,
+		})
+		sh := sc.flowShard(f)
+		if sh < 0 || sh >= 4 {
+			t.Fatalf("shard %d out of range", sh)
+		}
+		k := fmt.Sprintf("p%d", 1000+i%10)
+		if prev, ok := seen[k]; ok && prev != sh {
+			t.Fatalf("flow %s migrated shard %d -> %d", k, prev, sh)
+		}
+		seen[k] = sh
+	}
+	// Frames without a transport flow all go to one stable shard.
+	arp := packet.BuildARP(nil, packet.ARPSpec{SrcMAC: macA, DstMAC: macB, Op: packet.ARPRequest})
+	if sc.flowShard(arp) != 0 || sc.flowShard(arp[:3]) != 0 {
+		t.Fatal("non-flow frames not pinned to shard 0")
+	}
+}
+
+// TestFlowShardDispersesCorrelatedFlows pins the avalanche finalizer:
+// flow populations whose 5-tuples differ only in correlated low bytes
+// (sequential source ports AND sequential destination addresses — the
+// shape a scan, a load balancer, or a bench harness produces) must
+// spread across shards. Raw FNV-1a mod 4 sends every such flow to ONE
+// shard: each xor-then-odd-multiply step leaves the hash's low k bits a
+// function of the inputs' low k bits, and the two correlated byte
+// injections cancel mod 4.
+func TestFlowShardDispersesCorrelatedFlows(t *testing.T) {
+	sc := NewSharded(ShardedConfig{Config: equivConfig(), Shards: 4})
+	defer sc.Close()
+	counts := make([]int, 4)
+	const flows = 64
+	for i := 0; i < flows; i++ {
+		f := packet.BuildTCP(nil, packet.TCPSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: ipA,
+			DstIP:   packet.IPv4{10, 0, 1, byte(i)},
+			SrcPort: uint16(1000 + i), DstPort: 2000,
+			Flags: packet.TCPAck, PayloadLen: 1460,
+		})
+		counts[sc.flowShard(f)]++
+	}
+	busiest, used := 0, 0
+	for _, c := range counts {
+		if c > 0 {
+			used++
+		}
+		if c > busiest {
+			busiest = c
+		}
+	}
+	if used < 3 || busiest > flows/2 {
+		t.Fatalf("correlated flows collapse: per-shard counts %v", counts)
+	}
+}
+
+func TestShardedDropOnFull(t *testing.T) {
+	sc := NewSharded(ShardedConfig{
+		Config: equivConfig(), Shards: 2, Batch: 4, Queue: 1, DropOnFull: true,
+	})
+	var t0 units.Time
+	var seq uint32
+	const total = 50000
+	for i := 0; i < total; i++ {
+		f := packet.BuildTCP(nil, packet.TCPSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+			SrcPort: uint16(1000 + i%8), DstPort: 2000,
+			Seq: seq, Flags: packet.TCPAck, PayloadLen: 1460,
+		})
+		seq += 1460
+		if err := sc.Ingest(t0, f); err != nil {
+			t.Fatal(err)
+		}
+		t0 = t0.Add(units.Duration(100))
+	}
+	sc.Flush()
+	st := sc.Stats()
+	if st.Samples+sc.Dropped() != total {
+		t.Fatalf("processed %d + dropped %d != %d", st.Samples, sc.Dropped(), total)
+	}
+	sc.Close()
+}
+
+func TestShardedFlushCloseIdempotent(t *testing.T) {
+	sc := NewSharded(ShardedConfig{Config: equivConfig(), Shards: 2})
+	sc.Ingest(0, tcpFrame(0, 1460))
+	sc.Flush()
+	sc.Flush()
+	if st := sc.Stats(); st.Samples != 1 {
+		t.Fatalf("samples %d", st.Samples)
+	}
+	sc.Close()
+	sc.Close() // second Close must be a no-op, not a panic
+}
+
+func TestShardedTimestampRegressionRejected(t *testing.T) {
+	sc := NewSharded(ShardedConfig{Config: equivConfig(), Shards: 2})
+	defer sc.Close()
+	sc.Ingest(1000, tcpFrame(0, 100))
+	if err := sc.Ingest(500, tcpFrame(1460, 100)); err == nil {
+		t.Fatal("backwards timestamp accepted")
+	}
+}
+
+// The reorder ring is the merger's ordering backbone; exercise its
+// wrap-around and growth paths directly with a permuted insert order.
+func TestReorderRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var o reorder
+	const total = 5000
+	perm := rng.Perm(total)
+	var applied []uint64
+	var r outRec
+	window := 0
+	for i := 0; i < total; {
+		// Insert a random-size window out of order, then drain.
+		window = 1 + rng.Intn(96)
+		end := i + window
+		if end > total {
+			end = total
+		}
+		chunk := perm[i:end]
+		sort.Slice(chunk, func(a, b int) bool { return chunk[a] < chunk[b] })
+		for _, s := range chunk {
+			o.insert(&outRec{seq: uint64(s), t: units.Time(s)})
+		}
+		for o.pop(&r) {
+			applied = append(applied, r.seq)
+		}
+		i = end
+	}
+	// A permutation window scheme can leave a tail; everything inserted
+	// in window order must eventually drain in global order.
+	for o.pop(&r) {
+		applied = append(applied, r.seq)
+	}
+	if len(applied) != total {
+		t.Fatalf("applied %d of %d", len(applied), total)
+	}
+	for i, s := range applied {
+		if s != uint64(i) {
+			t.Fatalf("out of order at %d: %d", i, s)
+		}
+	}
+}
+
+func TestShardedIngestNoAllocSteadyState(t *testing.T) {
+	sc := NewSharded(ShardedConfig{Config: equivConfig(), Shards: 2})
+	defer sc.Close()
+	frame := tcpFrame(0, 1460)
+	var t0 units.Time
+	var seq uint32
+	sc.Ingest(t0, frame)
+	sc.Flush()
+	allocs := testing.AllocsPerRun(5000, func() {
+		t0 = t0.Add(units.Duration(1230))
+		seq += 1460
+		frame = packet.BuildTCP(frame, packet.TCPSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+			SrcPort: 1000, DstPort: 2000, Seq: seq, Flags: packet.TCPAck, PayloadLen: 1460,
+		})
+		if err := sc.Ingest(t0, frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The dispatcher's hot path (hash, batch append) must not allocate
+	// once the batch free-lists are warm. Allow a small budget for the
+	// occasional batch-arena regrowth while the pipeline reaches steady
+	// state.
+	if allocs > 0.2 {
+		t.Fatalf("sharded Ingest allocates %.2f per sample", allocs)
+	}
+}

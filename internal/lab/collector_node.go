@@ -16,9 +16,18 @@ import (
 // each simulated packet into genuine wire bytes before handing it to the
 // collector, so the exact parse path a hardware deployment would run is
 // exercised for every sample.
+// ingester is the part of a collector the capture stack feeds. Both the
+// serial core.Collector and the concurrent core.ShardedCollector
+// satisfy it.
+type ingester interface {
+	Ingest(t units.Time, frame []byte) error
+}
+
 type CollectorNode struct {
 	eng      *sim.Engine
-	col      *core.Collector
+	ing      ingester
+	col      *core.Collector        // serial mode, nil when sharded
+	sharded  *core.ShardedCollector // sharded mode, nil when serial
 	port     *sim.Port
 	poll     units.Duration
 	overhead units.Duration
@@ -40,6 +49,12 @@ type CollectorNode struct {
 	// OnSample, when set, observes each delivered sample after ingest.
 	OnSample func(now units.Time, pkt *sim.Packet)
 
+	// OnFrame, when set, observes the exact wire bytes and delivery
+	// timestamp of every sample just before ingest — the hook the
+	// serial-equivalence oracle uses to capture a replayable stream.
+	// The buffer is reused across samples; copy to retain.
+	OnFrame func(at units.Time, frame []byte)
+
 	// IngestErrors counts frames the collector rejected.
 	IngestErrors int64
 }
@@ -47,9 +62,26 @@ type CollectorNode struct {
 // NewCollectorNode builds a collector process with its NIC port running
 // at rate (which must match the monitor port it connects to).
 func NewCollectorNode(eng *sim.Engine, col *core.Collector, rate units.Rate, poll, overhead units.Duration) *CollectorNode {
+	n := newNode(eng, rate, poll, overhead)
+	n.col = col
+	n.ing = col
+	return n
+}
+
+// NewShardedCollectorNode is NewCollectorNode for the concurrent
+// pipeline: deliveries fan out across sc's shards, and the node flushes
+// the pipeline at the end of every poll batch so event dispatch and the
+// query surface stay within one poll interval of the serial collector.
+func NewShardedCollectorNode(eng *sim.Engine, sc *core.ShardedCollector, rate units.Rate, poll, overhead units.Duration) *CollectorNode {
+	n := newNode(eng, rate, poll, overhead)
+	n.sharded = sc
+	n.ing = sc
+	return n
+}
+
+func newNode(eng *sim.Engine, rate units.Rate, poll, overhead units.Duration) *CollectorNode {
 	n := &CollectorNode{
 		eng:      eng,
-		col:      col,
 		poll:     poll,
 		overhead: overhead,
 		scratch:  make([]byte, 2048),
@@ -80,7 +112,10 @@ func (n *CollectorNode) Port() *sim.Port { return n.port }
 func (n *CollectorNode) ingestOne(at units.Time, pkt *sim.Packet) {
 	frame := pkt.WireBytes(n.scratch)
 	n.scratch = frame[:cap(frame)]
-	if err := n.col.Ingest(at, frame); err != nil {
+	if n.OnFrame != nil {
+		n.OnFrame(at, frame)
+	}
+	if err := n.ing.Ingest(at, frame); err != nil {
 		n.IngestErrors++
 	}
 	if pkt.SentAt > 0 {
@@ -101,11 +136,22 @@ func (n *CollectorNode) ingestOne(at units.Time, pkt *sim.Packet) {
 func (n *CollectorNode) AttachInSwitch(sw *switchsim.Switch) {
 	sw.SampleSink = func(now units.Time, pkt *sim.Packet) {
 		n.ingestOne(now.Add(n.overhead), pkt)
+		// With no poll batch there is no natural flush point; drain the
+		// concurrent pipeline per sample so callbacks keep switching-time
+		// latency. (Sharded + in-switch trades hand-off batching away.)
+		if n.sharded != nil {
+			n.sharded.Flush()
+		}
 	}
 }
 
-// Collector returns the wrapped collector.
+// Collector returns the wrapped serial collector, or nil when the node
+// runs the sharded pipeline.
 func (n *CollectorNode) Collector() *core.Collector { return n.col }
+
+// Sharded returns the wrapped concurrent pipeline, or nil when the node
+// runs the serial collector.
+func (n *CollectorNode) Sharded() *core.ShardedCollector { return n.sharded }
 
 // Name implements sim.Node.
 func (n *CollectorNode) Name() string { return "collector" }
@@ -129,4 +175,11 @@ func (n *CollectorNode) deliver(now units.Time) {
 		n.eng.FreePacket(pkt)
 	}
 	n.pending = n.pending[:0]
+	// Drain the concurrent pipeline at every poll boundary: the simulator
+	// blocks here until all callbacks for this batch have fired, which
+	// both bounds event latency to one poll interval and keeps the run
+	// deterministic (callbacks execute while the engine is parked).
+	if n.sharded != nil {
+		n.sharded.Flush()
+	}
 }

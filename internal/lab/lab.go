@@ -36,6 +36,13 @@ type Options struct {
 	CollectorConfig core.Config
 	// Mirror enables oversubscribed mirroring and collectors.
 	Mirror bool
+	// CollectorShards, when > 0, runs each collector as a concurrent
+	// sharded pipeline (core.NewSharded) with that many shards instead
+	// of a serial core.Collector. Lab.Collector(s) returns nil for such
+	// switches — use Lab.Collectors[s].Sharded(). The controller is not
+	// attached (PlanckTE reroutes need the serial event path), so
+	// subscribe on the sharded collector directly before Run.
+	CollectorShards int
 	// InSwitchCollectors realizes §9.2's in-switch collector proposal:
 	// collectors consume samples at switching time through a data-plane
 	// sink instead of a monitor port, so samples see no mirror buffering
@@ -181,14 +188,25 @@ func New(opts Options) (*Lab, error) {
 			ccfg.NumPorts = len(net.Ports[s])
 			ccfg.LinkRate = net.LineRate
 			ccfg.Metrics = l.Metrics
-			node := NewCollectorNode(eng, core.New(ccfg), net.LineRate, opts.PollInterval, opts.PollOverhead)
+			var node *CollectorNode
+			if opts.CollectorShards > 0 {
+				sc := core.NewSharded(core.ShardedConfig{Config: ccfg, Shards: opts.CollectorShards})
+				node = NewShardedCollectorNode(eng, sc, net.LineRate, opts.PollInterval, opts.PollOverhead)
+				// The sharded pipeline still gets the routing oracle, but
+				// the controller's event plumbing stays serial-only.
+				sc.SetPortMapper(controller.NewSwitchMapper(net, s))
+			} else {
+				node = NewCollectorNode(eng, core.New(ccfg), net.LineRate, opts.PollInterval, opts.PollOverhead)
+			}
 			node.RegisterMetrics(l.Metrics, ccfg.SwitchName)
 			if opts.InSwitchCollectors {
 				node.AttachInSwitch(l.Switches[s])
 			} else {
 				sim.Connect(node.Port(), l.Switches[s].Port(mp), opts.LinkDelay)
 			}
-			l.Ctrl.AttachCollector(s, node.Collector())
+			if node.Collector() != nil {
+				l.Ctrl.AttachCollector(s, node.Collector())
+			}
 			l.Collectors[s] = node
 		}
 	}

@@ -1,0 +1,264 @@
+package lab
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"planck/internal/controller"
+	"planck/internal/core"
+	"planck/internal/packet"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// The serial-equivalence oracle. A real testbed run — TCP slow start,
+// congestion on a shared egress link, flow FINs, a UDP CBR stream, and
+// oversubscribed mirror drops — is captured at the collector's NIC via
+// the OnFrame tap, giving a deterministic sample stream with exactly the
+// timestamps the live collector saw. That one stream is then replayed
+// through a fresh serial Collector and through ShardedCollectors of
+// 1, 2, 4, and 8 shards, with a deterministic mid-replay ExpireFlows;
+// every observable output must match the serial run exactly. Run under
+// -race this is the pipeline's strongest correctness check: any
+// unsynchronized cross-shard state shows up either as a report diff or
+// as a race.
+
+// capturedStream is a replayable record of every sample delivered to a
+// collector node, stored in one flat buffer to keep capture cheap.
+type capturedStream struct {
+	times []units.Time
+	offs  []int // len(times)+1 offsets into buf
+	buf   []byte
+}
+
+func (cs *capturedStream) add(at units.Time, frame []byte) {
+	if len(cs.offs) == 0 {
+		cs.offs = append(cs.offs, 0)
+	}
+	cs.times = append(cs.times, at)
+	cs.buf = append(cs.buf, frame...)
+	cs.offs = append(cs.offs, len(cs.buf))
+}
+
+func (cs *capturedStream) frame(i int) []byte { return cs.buf[cs.offs[i]:cs.offs[i+1]] }
+func (cs *capturedStream) n() int             { return len(cs.times) }
+
+// captureTestbedStream drives the shared-bottleneck scenario and records
+// switch 0's sample stream.
+func captureTestbedStream(t *testing.T) (*capturedStream, core.Config, core.PortMapper) {
+	t.Helper()
+	net := topo.SingleSwitch("sw0", 4, units.Rate10G, true)
+	l, err := New(Options{Net: net, Mirror: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &capturedStream{}
+	l.Collectors[0].OnFrame = cs.add
+
+	// Three TCP flows converge on host 3 (their shared egress runs at
+	// ~100% > the 0.9 threshold), one short flow FINs early, and a UDP
+	// CBR stream adds non-TCP samples.
+	for i := 0; i < 3; i++ {
+		if _, err := l.Hosts[i].StartFlow(0, topo.HostIP(3), uint16(5001+i), 4<<20, int32(1+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Hosts[1].StartFlow(0, topo.HostIP(2), 6001, 256<<10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Hosts[2].StartCBR(0, topo.HostIP(0), 7001, 1000, units.Rate(500*units.Mbps), 11); err != nil {
+		t.Fatal(err)
+	}
+	l.Run(120 * units.Millisecond)
+
+	if cs.n() < 5000 {
+		t.Fatalf("capture too small to exercise the pipeline: %d samples", cs.n())
+	}
+	ccfg := core.Config{SwitchName: "sw0", NumPorts: len(net.Ports[0]), LinkRate: net.LineRate}
+	return cs, ccfg, controller.NewSwitchMapper(net, 0)
+}
+
+// oracleReport is everything observable about one replay.
+type oracleReport struct {
+	stats      core.Stats
+	expired    int
+	utils      []units.Rate
+	rates      map[string]units.Rate
+	events     []string
+	boundaries []string
+}
+
+func renderEvent(ev core.CongestionEvent) string {
+	flows := append([]core.FlowInfo(nil), ev.Flows...)
+	// Event flow annotations are the only order-normalized comparison:
+	// the sharded view's swap-remove bookkeeping may permute them.
+	sort.Slice(flows, func(i, j int) bool {
+		return fmt.Sprintf("%+v", flows[i].Key) < fmt.Sprintf("%+v", flows[j].Key)
+	})
+	return fmt.Sprintf("t=%d %s port=%d util=%d cap=%d flows=%+v",
+		ev.Time, ev.SwitchName, ev.Port, ev.Util, ev.Capacity, flows)
+}
+
+// replayCollector is the surface the oracle needs from either pipeline.
+type replayCollector interface {
+	Ingest(t units.Time, frame []byte) error
+	SetPortMapper(m core.PortMapper)
+	Subscribe(fn func(ev core.CongestionEvent))
+	SubscribeFlowBoundaries(fn func(t units.Time, key packet.FlowKey, kind core.BoundaryKind))
+	ExpireFlows(now units.Time, idle units.Duration) int
+	Flows(fn func(f *core.FlowState))
+	LinkUtilization(p int) units.Rate
+	Stats() core.Stats
+}
+
+// replayStream pushes the captured stream through col with a
+// deterministic ExpireFlows at the midpoint, then snapshots every
+// observable output. flush is called before quiescent reads (no-op for
+// the serial collector).
+func replayStream(t *testing.T, cs *capturedStream, ccfg core.Config, mapper core.PortMapper, col replayCollector, flush func()) oracleReport {
+	t.Helper()
+	rep := oracleReport{rates: map[string]units.Rate{}, utils: make([]units.Rate, ccfg.NumPorts)}
+	col.SetPortMapper(mapper)
+	col.Subscribe(func(ev core.CongestionEvent) {
+		rep.events = append(rep.events, renderEvent(ev))
+	})
+	col.SubscribeFlowBoundaries(func(at units.Time, key packet.FlowKey, kind core.BoundaryKind) {
+		rep.boundaries = append(rep.boundaries, fmt.Sprintf("t=%d %s kind=%d", at, key, kind))
+	})
+	mid := cs.n() / 2
+	for i := 0; i < cs.n(); i++ {
+		if err := col.Ingest(cs.times[i], cs.frame(i)); err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if i == mid {
+			rep.expired = col.ExpireFlows(cs.times[i], 2*units.Millisecond)
+		}
+	}
+	flush()
+	rep.stats = col.Stats()
+	for p := 0; p < ccfg.NumPorts; p++ {
+		rep.utils[p] = col.LinkUtilization(p)
+	}
+	col.Flows(func(f *core.FlowState) {
+		r, _ := f.Rate()
+		rep.rates[f.Key.String()] = r
+	})
+	return rep
+}
+
+func TestLabSerialEquivalenceOracle(t *testing.T) {
+	cs, ccfg, mapper := captureTestbedStream(t)
+
+	serial := replayStream(t, cs, ccfg, mapper, core.New(ccfg), func() {})
+	if serial.stats.Samples != int64(cs.n()) {
+		t.Fatalf("serial replay ingested %d of %d", serial.stats.Samples, cs.n())
+	}
+	if len(serial.events) == 0 {
+		t.Fatal("scenario produced no congestion events; oracle would be vacuous")
+	}
+	if len(serial.boundaries) < 4 {
+		t.Fatalf("scenario produced %d flow boundaries", len(serial.boundaries))
+	}
+	if serial.expired == 0 {
+		t.Fatal("mid-replay expiry removed nothing; oracle would be vacuous")
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		sc := core.NewSharded(core.ShardedConfig{Config: ccfg, Shards: shards})
+		got := replayStream(t, cs, ccfg, mapper, sc, sc.Flush)
+		sc.Close()
+		if got.stats != serial.stats {
+			t.Errorf("shards=%d stats %+v != serial %+v", shards, got.stats, serial.stats)
+		}
+		if got.expired != serial.expired {
+			t.Errorf("shards=%d expired %d != serial %d", shards, got.expired, serial.expired)
+		}
+		if !reflect.DeepEqual(got.utils, serial.utils) {
+			t.Errorf("shards=%d utils %v != serial %v", shards, got.utils, serial.utils)
+		}
+		if !reflect.DeepEqual(got.rates, serial.rates) {
+			t.Errorf("shards=%d flow rates diverge:\n got %v\nwant %v", shards, got.rates, serial.rates)
+		}
+		if !reflect.DeepEqual(got.events, serial.events) {
+			t.Errorf("shards=%d events diverge (%d vs %d):\n got %v\nwant %v",
+				shards, len(got.events), len(serial.events), got.events, serial.events)
+		}
+		if !reflect.DeepEqual(got.boundaries, serial.boundaries) {
+			t.Errorf("shards=%d boundaries diverge (%d vs %d)", shards, len(got.boundaries), len(serial.boundaries))
+		}
+	}
+}
+
+// TestShardedTestbedEndToEnd runs the testbed itself in sharded mode —
+// the CollectorShards wiring, per-poll flushes, and merger-goroutine
+// callbacks — and checks it against an identical serial-mode run.
+func TestShardedTestbedEndToEnd(t *testing.T) {
+	type outcome struct {
+		stats      core.Stats
+		boundaries int
+		events     int
+		rates      map[string]units.Rate
+	}
+	run := func(shards int) outcome {
+		net := topo.SingleSwitch("sw0", 4, units.Rate10G, true)
+		l, err := New(Options{Net: net, Mirror: true, Seed: 5, CollectorShards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var o outcome
+		count := func(units.Time, packet.FlowKey, core.BoundaryKind) { o.boundaries++ }
+		// Subscribe a congestion handler on both variants: in serial mode
+		// the controller is attached and already enables event checking,
+		// so the sharded run needs its own subscriber to match.
+		onEvent := func(core.CongestionEvent) { o.events++ }
+		if shards > 0 {
+			if l.Collector(0) != nil {
+				t.Fatal("sharded node must not expose a serial collector")
+			}
+			l.Collectors[0].Sharded().SubscribeFlowBoundaries(count)
+			l.Collectors[0].Sharded().Subscribe(onEvent)
+		} else {
+			l.Collector(0).SubscribeFlowBoundaries(count)
+			l.Collector(0).Subscribe(onEvent)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := l.Hosts[i].StartFlow(0, topo.HostIP(3), uint16(5001+i), 2<<20, int32(1+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Run(100 * units.Millisecond)
+		o.rates = map[string]units.Rate{}
+		if shards > 0 {
+			sc := l.Collectors[0].Sharded()
+			sc.Flush()
+			o.stats = sc.Stats()
+			sc.Flows(func(f *core.FlowState) { r, _ := f.Rate(); o.rates[f.Key.String()] = r })
+			sc.Close()
+		} else {
+			c := l.Collector(0)
+			o.stats = c.Stats()
+			c.Flows(func(f *core.FlowState) { r, _ := f.Rate(); o.rates[f.Key.String()] = r })
+		}
+		return o
+	}
+
+	serial := run(0)
+	if serial.stats.Samples == 0 || serial.boundaries == 0 {
+		t.Fatalf("serial run saw nothing: %+v", serial)
+	}
+	sharded := run(4)
+	if sharded.stats != serial.stats {
+		t.Errorf("sharded testbed stats %+v != serial %+v", sharded.stats, serial.stats)
+	}
+	if sharded.boundaries != serial.boundaries {
+		t.Errorf("sharded testbed boundaries %d != serial %d", sharded.boundaries, serial.boundaries)
+	}
+	if sharded.events != serial.events {
+		t.Errorf("sharded testbed events %d != serial %d", sharded.events, serial.events)
+	}
+	if !reflect.DeepEqual(sharded.rates, serial.rates) {
+		t.Errorf("sharded testbed rates diverge:\n got %v\nwant %v", sharded.rates, serial.rates)
+	}
+}

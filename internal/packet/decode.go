@@ -87,6 +87,11 @@ func (d *Decoded) decodeIPv4(b []byte) error {
 		if err != nil {
 			return err
 		}
+		if hn > ipPayload {
+			// The IP TotalLen claims less data than the transport header
+			// occupies — a lying header, not a truncated capture.
+			return fmt.Errorf("ipv4 total length %d < headers %d: %w", d.IP.TotalLen, n+hn, ErrBadHdrLen)
+		}
 		d.Layers |= LayerTCP
 		d.PayloadLen = ipPayload - hn
 		return nil
@@ -94,6 +99,9 @@ func (d *Decoded) decodeIPv4(b []byte) error {
 		hn, err := d.UDP.decode(rest)
 		if err != nil {
 			return err
+		}
+		if hn > ipPayload {
+			return fmt.Errorf("ipv4 total length %d < headers %d: %w", d.IP.TotalLen, n+hn, ErrBadHdrLen)
 		}
 		d.Layers |= LayerUDP
 		d.PayloadLen = ipPayload - hn

@@ -1,0 +1,60 @@
+package packet
+
+import "testing"
+
+// FuzzDecode: decoding arbitrary bytes must never panic, and any frame
+// that decodes must be internally consistent (the native-fuzzing
+// successor to the old rng-loop TestDecodeFuzz).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: one well-formed frame of each kind plus the truncation
+	// boundaries TestDecodeTruncated checks.
+	tcp := BuildTCP(nil, TCPSpec{
+		SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+		SrcPort: 1000, DstPort: 2000, Seq: 1, Flags: TCPAck, PayloadLen: 64,
+	})
+	f.Add(append([]byte(nil), tcp...))
+	f.Add(BuildUDP(nil, UDPSpec{
+		SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+		SrcPort: 1, DstPort: 2, PayloadLen: 32, Seq: 9, HasSeq: true,
+	}))
+	f.Add(BuildARP(nil, ARPSpec{
+		SrcMAC: macA, DstMAC: macB, Op: ARPRequest,
+		SenderMAC: macA, SenderIP: ipA, TargetIP: ipB,
+	}))
+	for _, n := range []int{0, 5, EthernetHeaderLen - 1, EthernetHeaderLen + 3, EthernetHeaderLen + IPv4MinHeaderLen + 5} {
+		f.Add(append([]byte(nil), tcp[:n]...))
+	}
+	// IPv4 with options (IHL > 5) and a non-TCP/UDP protocol.
+	opts := append([]byte(nil), tcp...)
+	opts[EthernetHeaderLen] = 0x46 // IHL = 6
+	f.Add(opts)
+	raw := append([]byte(nil), tcp...)
+	raw[EthernetHeaderLen+9] = 0x2f // GRE: IPv4 decodes, no transport layer
+	f.Add(raw)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var d Decoded
+		if err := d.Decode(b); err != nil {
+			return
+		}
+		// Consistency of anything that claims to have decoded.
+		if !d.Has(LayerEthernet) {
+			t.Fatal("decoded frame without an Ethernet layer")
+		}
+		if d.Has(LayerTCP) || d.Has(LayerUDP) {
+			if !d.Has(LayerIPv4) {
+				t.Fatal("transport layer without IPv4")
+			}
+			key, ok := d.Flow()
+			if !ok {
+				t.Fatal("transport layer but no flow key")
+			}
+			if key.SrcIP != d.IP.Src || key.DstIP != d.IP.Dst {
+				t.Fatalf("flow key IPs %v disagree with header %v>%v", key, d.IP.Src, d.IP.Dst)
+			}
+		}
+		if d.PayloadLen < 0 || d.WireLen < 0 {
+			t.Fatalf("negative lengths: payload %d wire %d", d.PayloadLen, d.WireLen)
+		}
+	})
+}

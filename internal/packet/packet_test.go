@@ -2,7 +2,6 @@ package packet
 
 import (
 	"bytes"
-	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -177,22 +176,6 @@ func TestTCPRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
-	}
-}
-
-// Property: decoding arbitrary bytes never panics.
-func TestDecodeFuzz(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
-	var d Decoded
-	for i := 0; i < 5000; i++ {
-		n := rng.Intn(120)
-		b := make([]byte, n)
-		rng.Read(b)
-		// Bias towards plausible EtherTypes so deeper decoders run.
-		if n >= 14 && rng.Intn(2) == 0 {
-			b[12], b[13] = 0x08, byte(rng.Intn(2))*6 // 0x0800 or 0x0806
-		}
-		_ = d.Decode(b) // must not panic
 	}
 }
 

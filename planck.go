@@ -51,6 +51,13 @@ type (
 	// RateEstimator is the burst-clustered sequence-number estimator.
 	RateEstimator = core.RateEstimator
 
+	// ShardedCollector is the concurrent collector pipeline: samples are
+	// hash-partitioned by flow across per-shard collectors and merged
+	// into one coherent view.
+	ShardedCollector = core.ShardedCollector
+	// ShardedCollectorConfig tunes a ShardedCollector.
+	ShardedCollectorConfig = core.ShardedConfig
+
 	// Testbed is an assembled simulated network.
 	Testbed = lab.Lab
 	// TestbedOptions configures a Testbed.
@@ -77,14 +84,26 @@ const (
 // Collector.Ingest(timestamp, frame).
 func NewCollector(cfg CollectorConfig) *Collector { return core.New(cfg) }
 
+// NewShardedCollector builds and starts a concurrent collector pipeline
+// (zero Shards = one per GOMAXPROCS). Close it when done.
+func NewShardedCollector(cfg ShardedCollectorConfig) *ShardedCollector { return core.NewSharded(cfg) }
+
+// Ingester consumes timestamped Ethernet frames. Both *Collector and
+// *ShardedCollector satisfy it; every stream entry point in this package
+// accepts either.
+type Ingester interface {
+	Ingest(t Time, frame []byte) error
+}
+
 // NewRateEstimator returns an estimator with the paper's constants
 // (200 µs minimum burst gap, 700 µs maximum window).
 func NewRateEstimator() *RateEstimator { return core.NewRateEstimator() }
 
-// ReplayPcap streams a pcap file through a collector, returning the
-// number of frames ingested. Decode errors on individual frames are
-// counted by the collector and do not abort the replay.
-func ReplayPcap(r io.Reader, c *Collector) (int, error) {
+// ReplayPcap streams a pcap file through a collector (serial or
+// sharded), returning the number of frames ingested. Decode errors on
+// individual frames are counted by the collector and do not abort the
+// replay.
+func ReplayPcap(r io.Reader, c Ingester) (int, error) {
 	pr, err := pcap.NewReader(r)
 	if err != nil {
 		return 0, err
@@ -153,14 +172,14 @@ type UDPServeStats struct {
 // until the connection is closed or maxSamples arrive (0 = unbounded).
 // It returns the number of samples ingested. Malformed datagrams and
 // per-frame decode errors are counted by the collector, not fatal.
-func ServeUDP(conn net.PacketConn, c *Collector, maxSamples int) (int, error) {
+func ServeUDP(conn net.PacketConn, c Ingester, maxSamples int) (int, error) {
 	return ServeUDPObserved(conn, c, maxSamples, nil)
 }
 
 // ServeUDPObserved is ServeUDP with malformed-input accounting: when st
 // is non-nil, every datagram is classified into one of its counters as
 // it is processed, so a live deployment can watch its ingest health.
-func ServeUDPObserved(conn net.PacketConn, c *Collector, maxSamples int, st *UDPServeStats) (int, error) {
+func ServeUDPObserved(conn net.PacketConn, c Ingester, maxSamples int, st *UDPServeStats) (int, error) {
 	buf := make([]byte, 65536)
 	n := 0
 	var lastT Time
