@@ -1,54 +1,65 @@
 GO ?= go
 
-.PHONY: all build vet test race race-fast fuzz-smoke check bench bench-obs bench-shard clean
+.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke check bench bench-obs bench-shard clean
 
 all: check
 
-build:
+# Every target that compiles or runs code goes through vet first — a
+# vet finding should stop the build the same way a compile error does.
+build: vet
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 # race-fast covers the packages with genuine concurrency (the sharded
 # collector pipeline and its serial-equivalence oracles, the obs
 # registry under concurrent observe/serve, the UDP transport) plus the
 # hot-path packages, in under a minute.
-race-fast:
+race-fast: vet
 	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/counters/ ./internal/sim/ ./internal/packet/ ./internal/lab/ .
 
 # The experiments suite runs ~7 min uninstrumented; give the race
 # build room beyond go test's 10-minute default.
-race:
+race: vet
 	$(GO) build ./...
 	$(GO) test -race -count=1 -timeout 60m ./...
 
 # fuzz-smoke gives each native fuzz target a short budget — enough to
 # replay the corpus and shake the mutator — without tying up CI.
-fuzz-smoke:
+fuzz-smoke: vet
 	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 10s ./internal/packet/
 	$(GO) test -run xxx -fuzz FuzzIngest -fuzztime 10s ./internal/core/
+	$(GO) test -run xxx -fuzz FuzzParseSpec -fuzztime 10s ./internal/faults/
+
+# chaos-smoke runs the fault-injection suite and the supervised
+# control-loop chaos scenario (loss blackout + crash + partition)
+# under the race detector, plus a short fuzz of the fault-spec parser.
+chaos-smoke: vet
+	$(GO) test -race ./internal/faults/ ./internal/controller/
+	$(GO) test -race -run 'TestChaos|TestHeartbeat' -timeout 15m ./internal/lab/ ./internal/core/
+	$(GO) test -run xxx -fuzz FuzzParseSpec -fuzztime 5s ./internal/faults/
 
 # check is the tier-1 gate: everything must compile, vet clean, and pass.
 check: vet build test race-fast
 
 # bench runs the per-figure testing.B targets once each.
-bench:
+bench: vet
 	$(GO) test -bench . -benchtime 1x -run xxx .
 
 # bench-obs measures the observability layer's overhead budget (counter
 # increment ns/op, histogram observe, collector ingest bare vs
 # instrumented with allocs/op) into BENCH_obs.json.
-bench-obs:
+bench-obs: vet
 	$(GO) run ./cmd/planck-bench -obs-json BENCH_obs.json
 
 # bench-shard compares serial vs sharded end-to-end ingest over a
 # 64-flow mix into BENCH_shard.json (speedup is bounded by GOMAXPROCS;
 # the report records the host's value).
-bench-shard:
+bench-shard: vet
 	$(GO) run ./cmd/planck-bench -shard-json BENCH_shard.json
 
 clean:

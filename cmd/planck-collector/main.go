@@ -9,6 +9,7 @@
 //	planck-collector -pcap capture.pcap
 //	planck-collector -pcap capture.pcap -threshold 0.8 -rate 10
 //	planck-collector -pcap capture.pcap -shards 4
+//	planck-collector -pcap capture.pcap -fault "loss:0.05,skew:200us" -fault-seed 7
 //	planck-collector -listen :5601 -max-samples 100000
 //	planck-collector -listen :5601 -metrics :9090 -stats-every 5s
 //
@@ -49,6 +50,8 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = off)")
 	statsEvery := flag.Duration("stats-every", 0, "period between one-line stats reports on stderr (0 = off)")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "collector shards; >1 runs the concurrent hash-partitioned pipeline")
+	faultSpec := flag.String("fault", "", `fault-injection spec applied to the ingest stream, e.g. "loss:0.05" or "loss@20ms-40ms,skew:200us" (empty = off)`)
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector's PRNG")
 	flag.Parse()
 
 	if (*pcapPath == "") == (*listen == "") {
@@ -80,6 +83,23 @@ func main() {
 		serial = core.New(ccfg)
 		serial.Subscribe(onEvent)
 		col = serial
+	}
+
+	// An optional fault layer interposes between the stream source and
+	// the collector: the same pipeline runs, but the spec's mirror-path
+	// faults (loss, corruption, duplication, reordering, skew) hit every
+	// frame first — for resilience testing against recorded captures.
+	var faulty *planck.FaultyIngester
+	if *faultSpec != "" {
+		sched, err := planck.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		faulty = planck.WrapFaults(col, sched, *faultSeed)
+		faulty.Injector().Metrics().Register(reg)
+		col = faulty
+		fmt.Fprintf(os.Stderr, "fault injection active: %s (seed %d)\n", sched, *faultSeed)
 	}
 
 	var udpStats planck.UDPServeStats
@@ -164,6 +184,11 @@ func main() {
 	}
 	fmt.Printf("replayed %d frames: %d flows, %d rate updates, %d decode errors, %d non-TCP\n",
 		frames, st.Flows, st.RateUpdates, st.DecodeErrors, st.NonTCP)
+	if faulty != nil {
+		fm := faulty.Injector().Metrics()
+		fmt.Printf("faults injected: %d lost, %d corrupted, %d duplicated, %d reordered, %d skewed\n",
+			fm.Lost.Value(), fm.Corrupted.Value(), fm.Duplicated.Value(), fm.Reordered.Value(), fm.Skewed.Value())
+	}
 	if serial != nil {
 		if tm := serial.IngestTimings(); tm != nil && tm.N() > 0 {
 			fmt.Printf("ingest wall time: p50=%.0fns p99=%.0fns over %d samples\n",

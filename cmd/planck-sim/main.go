@@ -5,6 +5,7 @@
 //
 //	planck-sim -workload stride -scheme planckte -size 100MiB -seed 7
 //	planck-sim -workload shuffle -metrics :9090 -stats-every 2s
+//	planck-sim -workload stride -fault "loss:0.5@1s-2s,crash@3s" -fault-seed 9
 //
 // With -metrics, the testbed's registry — engine vitals, controller
 // actuation delays, per-collector pipeline timings, and per-switch
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"planck/internal/experiments"
+	"planck/internal/faults"
 	"planck/internal/obs"
 	"planck/internal/units"
 )
@@ -32,6 +34,8 @@ func main() {
 	timeoutS := flag.Int("timeout-s", 120, "virtual-time timeout in seconds")
 	metricsAddr := flag.String("metrics", "", "HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = off)")
 	statsEvery := flag.Duration("stats-every", 0, "period between one-line stats reports on stderr (0 = off)")
+	faultSpec := flag.String("fault", "", `fault-injection spec for every monitored collector feed, e.g. "loss:0.5@1s-2s,crash@3s" (empty = off)`)
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault injectors (0 = derive from -seed)")
 	flag.Parse()
 
 	kinds := map[string]experiments.WorkloadKind{
@@ -70,6 +74,19 @@ func main() {
 		os.Exit(1)
 	}
 	defer cleanup()
+	if *faultSpec != "" {
+		sched, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fs := *faultSeed
+		if fs == 0 {
+			fs = *seed
+		}
+		l.ApplyFaults(sched, fs)
+		fmt.Fprintf(os.Stderr, "fault injection active: %s (seed %d)\n", sched, fs)
+	}
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, l.Metrics)
 		if err != nil {

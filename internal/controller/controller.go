@@ -151,13 +151,25 @@ func (c *Controller) InitialTree(d int) int { return c.initialTree[d] }
 // oracle and its congestion events are forwarded to subscribers.
 func (c *Controller) AttachCollector(s int, col *core.Collector) {
 	c.collectors[s] = col
-	col.SetPortMapper(NewSwitchMapper(c.net, s))
-	col.Subscribe(func(ev core.CongestionEvent) {
-		c.Events++
-		for _, fn := range c.subs {
-			fn(ev)
-		}
-	})
+	col.SetPortMapper(c.Mapper(s))
+	col.Subscribe(c.DeliverEvent)
+}
+
+// Mapper returns the routing oracle for switch s — the state a
+// supervisor re-shares with every replacement collector it builds
+// (§3.2.1's controller→collector routing sync).
+func (c *Controller) Mapper(s int) core.PortMapper { return NewSwitchMapper(c.net, s) }
+
+// DeliverEvent accepts one congestion event into the controller: it is
+// counted and fanned out to subscribers. Direct-attached collectors
+// call it synchronously; supervised collectors route events through a
+// Deliverer so partitions and delays surface as retries instead of
+// silent loss.
+func (c *Controller) DeliverEvent(ev core.CongestionEvent) {
+	c.Events++
+	for _, fn := range c.subs {
+		fn(ev)
+	}
 }
 
 // Collector returns switch s's collector, or nil.

@@ -1,0 +1,202 @@
+package controller
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"planck/internal/core"
+	"planck/internal/obs"
+	"planck/internal/sim"
+	"planck/internal/units"
+)
+
+// BackoffPolicy tunes retry behavior for collector→controller event
+// delivery. Zero fields take defaults chosen for the millisecond
+// control loop: a congestion event is worthless after a few tens of
+// milliseconds (the congestion either cleared or TCP collapsed), so
+// the policy gives up quickly rather than queueing stale events.
+type BackoffPolicy struct {
+	// Base is the delay before the first retry (default 500µs).
+	Base units.Duration
+	// Max caps the per-retry delay (default 8ms).
+	Max units.Duration
+	// Factor multiplies the delay each retry (default 2).
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized — the
+	// delay is scaled by a uniform draw from [1−Jitter/2, 1+Jitter/2] —
+	// so synchronized collectors do not retry in lockstep against a
+	// recovering controller (default 0.2).
+	Jitter float64
+	// MaxAttempts bounds total sends, the first included (default 6).
+	MaxAttempts int
+}
+
+func (p *BackoffPolicy) fillDefaults() {
+	if p.Base == 0 {
+		p.Base = 500 * units.Microsecond
+	}
+	if p.Max == 0 {
+		p.Max = 8 * units.Millisecond
+	}
+	if p.Factor == 0 {
+		p.Factor = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 6
+	}
+}
+
+// delayFor returns the jittered backoff before retry number retry
+// (1-based), drawing from rng.
+func (p *BackoffPolicy) delayFor(retry int, rng *rand.Rand) units.Duration {
+	d := float64(p.Base)
+	for i := 1; i < retry; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter/2 + p.Jitter*rng.Float64()
+	}
+	if d < 1 {
+		d = 1
+	}
+	return units.Duration(d)
+}
+
+// DeliveryMetrics are the obs instruments of one Deliverer.
+type DeliveryMetrics struct {
+	Delivered obs.Counter // events that reached the controller
+	Retries   obs.Counter // individual re-send attempts
+	Abandoned obs.Counter // events dropped after MaxAttempts or cancellation
+	// Backoff records the µs slept before each retry.
+	Backoff *obs.Histogram
+}
+
+// Register exposes the delivery counters on reg under a shared label
+// set.
+func (m *DeliveryMetrics) Register(reg *obs.Registry, labels ...string) {
+	reg.MustRegister("planck_delivery_delivered_total", &m.Delivered, labels...)
+	reg.MustRegister("planck_delivery_retries_total", &m.Retries, labels...)
+	reg.MustRegister("planck_delivery_abandoned_total", &m.Abandoned, labels...)
+	if m.Backoff == nil {
+		m.Backoff = obs.NewScaledHistogram(1e-3) // ns observations → µs buckets
+	}
+	reg.MustRegister("planck_delivery_backoff_us", m.Backoff, labels...)
+}
+
+// Deliverer pushes congestion events from a collector to the
+// controller with bounded retry and exponential backoff. The transport
+// seams are injected so the same state machine runs inside the
+// discrete-event simulator (After = engine timer, cancellation = run
+// teardown) and on a live host (After = time.AfterFunc, cancellation =
+// context):
+//
+//	send   attempts one delivery; a non-nil error means "retry later"
+//	after  schedules fn once, d from now
+//	cancelled  reports that the owner gave up (context done, lab torn
+//	           down); checked before every attempt
+//
+// Deliverer is not safe for concurrent use: in the lab every method
+// runs on the engine goroutine, live deployments serialize on the
+// collector's event goroutine.
+type Deliverer struct {
+	policy    BackoffPolicy
+	rng       *rand.Rand
+	send      func(now units.Time, ev core.CongestionEvent) error
+	after     func(d units.Duration, fn func(now units.Time))
+	cancelled func() bool
+
+	// Metrics may be read at any time.
+	Metrics DeliveryMetrics
+
+	inFlight int
+}
+
+// NewDeliverer builds a deliverer over explicit seams. seed feeds the
+// jitter PRNG; rng state is private to the deliverer so retries never
+// perturb data-plane determinism.
+func NewDeliverer(policy BackoffPolicy, seed int64,
+	send func(now units.Time, ev core.CongestionEvent) error,
+	after func(d units.Duration, fn func(now units.Time)),
+	cancelled func() bool) *Deliverer {
+	policy.fillDefaults()
+	if cancelled == nil {
+		cancelled = func() bool { return false }
+	}
+	return &Deliverer{
+		policy:    policy,
+		rng:       rand.New(rand.NewSource(seed)),
+		send:      send,
+		after:     after,
+		cancelled: cancelled,
+	}
+}
+
+// NewSimDeliverer wires a deliverer to a simulation engine's timer
+// wheel: retries fire as engine events on the engine goroutine.
+func NewSimDeliverer(eng *sim.Engine, policy BackoffPolicy, seed int64,
+	send func(now units.Time, ev core.CongestionEvent) error,
+	cancelled func() bool) *Deliverer {
+	return NewDeliverer(policy, seed, send,
+		func(d units.Duration, fn func(now units.Time)) {
+			eng.After(d, sim.Callback(fn), nil)
+		}, cancelled)
+}
+
+// NewWallDeliverer wires a deliverer to the wall clock and a context:
+// retries fire from time.AfterFunc, timestamps are monotonic
+// nanoseconds since process start, and ctx cancellation abandons every
+// event still in flight at its next attempt.
+func NewWallDeliverer(ctx context.Context, policy BackoffPolicy, seed int64,
+	send func(now units.Time, ev core.CongestionEvent) error) *Deliverer {
+	return NewDeliverer(policy, seed, send,
+		func(d units.Duration, fn func(now units.Time)) {
+			time.AfterFunc(time.Duration(d), func() { fn(units.Time(obs.Nanos())) })
+		},
+		func() bool { return ctx.Err() != nil })
+}
+
+// InFlight returns how many events are awaiting a retry.
+func (d *Deliverer) InFlight() int { return d.inFlight }
+
+// Deliver attempts to hand ev to the controller, retrying per the
+// policy. It returns after the first attempt; retries run from the
+// injected timer.
+func (d *Deliverer) Deliver(now units.Time, ev core.CongestionEvent) {
+	d.attempt(now, ev, 1)
+}
+
+func (d *Deliverer) attempt(now units.Time, ev core.CongestionEvent, n int) {
+	if d.cancelled() {
+		d.Metrics.Abandoned.Inc()
+		return
+	}
+	err := d.send(now, ev)
+	if err == nil {
+		d.Metrics.Delivered.Inc()
+		return
+	}
+	if n >= d.policy.MaxAttempts {
+		d.Metrics.Abandoned.Inc()
+		return
+	}
+	delay := d.policy.delayFor(n, d.rng)
+	d.Metrics.Retries.Inc()
+	if d.Metrics.Backoff != nil {
+		d.Metrics.Backoff.Observe(int64(delay))
+	}
+	d.inFlight++
+	d.after(delay, func(at units.Time) {
+		d.inFlight--
+		d.attempt(at, ev, n+1)
+	})
+}

@@ -1,0 +1,180 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"planck/internal/core"
+	"planck/internal/sim"
+	"planck/internal/units"
+)
+
+// fakeTimer collects scheduled retries so tests can fire them by hand
+// with full control of virtual time.
+type fakeTimer struct {
+	now   units.Time
+	queue []struct {
+		at units.Time
+		fn func(units.Time)
+	}
+}
+
+func (ft *fakeTimer) after(d units.Duration, fn func(units.Time)) {
+	ft.queue = append(ft.queue, struct {
+		at units.Time
+		fn func(units.Time)
+	}{ft.now.Add(d), fn})
+}
+
+func (ft *fakeTimer) fireNext() bool {
+	if len(ft.queue) == 0 {
+		return false
+	}
+	e := ft.queue[0]
+	ft.queue = ft.queue[1:]
+	ft.now = e.at
+	e.fn(e.at)
+	return true
+}
+
+var errDown = errors.New("partitioned")
+
+func TestDelivererRetriesUntilSuccess(t *testing.T) {
+	ft := &fakeTimer{}
+	fails := 3
+	var deliveredAt []units.Time
+	send := func(now units.Time, ev core.CongestionEvent) error {
+		if fails > 0 {
+			fails--
+			return errDown
+		}
+		deliveredAt = append(deliveredAt, now)
+		return nil
+	}
+	d := NewDeliverer(BackoffPolicy{Base: units.Millisecond, Factor: 2, Jitter: 0.2, MaxAttempts: 6}, 1, send, ft.after, nil)
+	d.Deliver(0, core.CongestionEvent{Port: 1})
+	for ft.fireNext() {
+	}
+	if len(deliveredAt) != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", len(deliveredAt))
+	}
+	if got := d.Metrics.Delivered.Value(); got != 1 {
+		t.Errorf("Delivered = %d, want 1", got)
+	}
+	if got := d.Metrics.Retries.Value(); got != 3 {
+		t.Errorf("Retries = %d, want 3", got)
+	}
+	if got := d.Metrics.Abandoned.Value(); got != 0 {
+		t.Errorf("Abandoned = %d, want 0", got)
+	}
+	if d.InFlight() != 0 {
+		t.Errorf("InFlight = %d after settling", d.InFlight())
+	}
+	// Three retries with Base=1ms, Factor=2, Jitter=0.2: total backoff in
+	// [0.9+1.8+3.6, 1.1+2.2+4.4] ms.
+	if at := deliveredAt[0]; at < units.Time(6300*units.Microsecond) || at > units.Time(7700*units.Microsecond) {
+		t.Errorf("delivery landed at %v, outside the jittered backoff envelope", at)
+	}
+}
+
+func TestDelivererAbandonsAfterMaxAttempts(t *testing.T) {
+	ft := &fakeTimer{}
+	attempts := 0
+	send := func(units.Time, core.CongestionEvent) error { attempts++; return errDown }
+	d := NewDeliverer(BackoffPolicy{MaxAttempts: 4}, 2, send, ft.after, nil)
+	d.Deliver(0, core.CongestionEvent{})
+	for ft.fireNext() {
+	}
+	if attempts != 4 {
+		t.Errorf("attempts = %d, want MaxAttempts = 4", attempts)
+	}
+	if got := d.Metrics.Abandoned.Value(); got != 1 {
+		t.Errorf("Abandoned = %d, want 1", got)
+	}
+	if got := d.Metrics.Retries.Value(); got != 3 {
+		t.Errorf("Retries = %d, want 3", got)
+	}
+}
+
+func TestDelivererBackoffCapsAtMax(t *testing.T) {
+	p := BackoffPolicy{Base: units.Millisecond, Max: 3 * units.Millisecond, Factor: 10, Jitter: -1, MaxAttempts: 5}
+	p.fillDefaults()
+	// Jitter<0 is not meaningful; neutralize it for exactness.
+	p.Jitter = 0
+	d := NewDeliverer(p, 3, nil, nil, nil)
+	if got := p.delayFor(1, d.rng); got != units.Millisecond {
+		t.Errorf("retry 1 delay = %v, want Base", got)
+	}
+	if got := p.delayFor(2, d.rng); got != 3*units.Millisecond {
+		t.Errorf("retry 2 delay = %v, want Max cap", got)
+	}
+	if got := p.delayFor(4, d.rng); got != 3*units.Millisecond {
+		t.Errorf("retry 4 delay = %v, want Max cap", got)
+	}
+}
+
+func TestDelivererContextCancelAbandons(t *testing.T) {
+	ft := &fakeTimer{}
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	send := func(units.Time, core.CongestionEvent) error { attempts++; return errDown }
+	d := NewDeliverer(BackoffPolicy{MaxAttempts: 10}, 4, send, ft.after,
+		func() bool { return ctx.Err() != nil })
+	d.Deliver(0, core.CongestionEvent{})
+	ft.fireNext() // one retry happens live…
+	cancel()      // …then the owner gives up
+	for ft.fireNext() {
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (initial + one retry before cancel)", attempts)
+	}
+	if got := d.Metrics.Abandoned.Value(); got != 1 {
+		t.Errorf("Abandoned = %d, want 1", got)
+	}
+}
+
+func TestDelivererDeterministicJitter(t *testing.T) {
+	run := func(seed int64) []units.Duration {
+		p := BackoffPolicy{}
+		p.fillDefaults()
+		d := NewDeliverer(p, seed, nil, nil, nil)
+		var out []units.Duration
+		for i := 1; i <= 5; i++ {
+			out = append(out, p.delayFor(i, d.rng))
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+}
+
+func TestSimDelivererFiresOnEngine(t *testing.T) {
+	eng := sim.New()
+	downUntil := units.Time(5 * units.Millisecond)
+	var deliveredAt units.Time
+	send := func(now units.Time, ev core.CongestionEvent) error {
+		if now.Before(downUntil) {
+			return errDown
+		}
+		deliveredAt = now
+		return nil
+	}
+	d := NewSimDeliverer(eng, BackoffPolicy{Base: units.Millisecond, MaxAttempts: 10}, 5, send, nil)
+	d.Deliver(eng.Now(), core.CongestionEvent{Port: 2})
+	eng.RunUntil(units.Time(50 * units.Millisecond))
+	if deliveredAt == 0 {
+		t.Fatalf("event never delivered through the engine timer (retries=%d abandoned=%d)",
+			d.Metrics.Retries.Value(), d.Metrics.Abandoned.Value())
+	}
+	if deliveredAt.Before(downUntil) {
+		t.Fatalf("delivered at %v while the channel was still down", deliveredAt)
+	}
+	if d.Metrics.Retries.Value() == 0 {
+		t.Error("expected at least one retry before the partition healed")
+	}
+}

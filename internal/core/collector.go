@@ -454,6 +454,35 @@ func (c *Collector) checkCongestion(t units.Time, f *FlowState) {
 	}
 }
 
+// CooldownSnapshot returns the last congestion-event time per port,
+// omitting ports that never fired. A supervisor captures this after
+// every delivered event so that a replacement collector can be seeded
+// with RestoreCooldowns and not re-fire events the controller has
+// already acted on.
+func (c *Collector) CooldownSnapshot() map[int]units.Time {
+	snap := make(map[int]units.Time)
+	for p, t := range c.lastEvent {
+		if t > -1<<62 {
+			snap[p] = t
+		}
+	}
+	return snap
+}
+
+// RestoreCooldowns seeds per-port event cooldowns from a snapshot taken
+// on a previous incarnation of this collector. For each port the later
+// of the current and restored time wins, so restoring is idempotent and
+// never un-fires a cooldown. Call it before the first Ingest of a
+// restarted collector: replayed or re-synced samples that would re-fire
+// an event inside EventCooldown of the snapshot are then suppressed.
+func (c *Collector) RestoreCooldowns(snap map[int]units.Time) {
+	for p, t := range snap {
+		if p >= 0 && p < len(c.lastEvent) && t > c.lastEvent[p] {
+			c.lastEvent[p] = t
+		}
+	}
+}
+
 // LinkUtilization sums the fresh flow-rate estimates mapped to egress
 // port p (§3.2.2: "the controller sums the throughput of all flows
 // traversing a given link").

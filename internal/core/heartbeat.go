@@ -1,0 +1,106 @@
+package core
+
+import "planck/internal/units"
+
+// HeartbeatConfig tunes staleness detection for one collector feed.
+type HeartbeatConfig struct {
+	// Interval is the supervisor's tick period. It is recorded here so
+	// StaleAfter can default relative to it.
+	Interval units.Duration
+	// StaleAfter is how old the feed's last delivery may be before a
+	// tick counts as a miss. Defaults to 2×Interval: one interval for
+	// the batch in flight plus one of slack, so an idle-but-healthy
+	// poll cycle never counts as a miss.
+	StaleAfter units.Duration
+	// MissThreshold is how many consecutive misses flip the feed to
+	// dark. Defaults to 2, trading one extra interval of detection
+	// latency for immunity to a single late batch.
+	MissThreshold int
+}
+
+func (c *HeartbeatConfig) fillDefaults() {
+	if c.Interval == 0 {
+		c.Interval = 2 * units.Millisecond
+	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 2 * c.Interval
+	}
+	if c.MissThreshold == 0 {
+		c.MissThreshold = 2
+	}
+}
+
+// HeartbeatTransition is the outcome of one heartbeat check.
+type HeartbeatTransition uint8
+
+const (
+	// HeartbeatNone: no state change this tick.
+	HeartbeatNone HeartbeatTransition = iota
+	// HeartbeatWentDark: the feed just crossed the miss threshold.
+	HeartbeatWentDark
+	// HeartbeatRecovered: a dark feed just delivered again.
+	HeartbeatRecovered
+)
+
+// String implements fmt.Stringer.
+func (t HeartbeatTransition) String() string {
+	switch t {
+	case HeartbeatWentDark:
+		return "went-dark"
+	case HeartbeatRecovered:
+		return "recovered"
+	}
+	return "none"
+}
+
+// HeartbeatMonitor turns "when did this feed last deliver a sample?"
+// into dark/live transitions with hysteresis. It is deliberately
+// clock-agnostic — Beat takes explicit timestamps — so the same logic
+// runs against the lab's virtual clock and a live deployment's wall
+// clock, and unit tests need no timers.
+//
+// The monitor is not safe for concurrent use; in the lab it is owned by
+// the supervisor and only touched on the engine goroutine.
+type HeartbeatMonitor struct {
+	cfg    HeartbeatConfig
+	streak int
+	dark   bool
+}
+
+// NewHeartbeatMonitor builds a monitor; zero config fields take
+// defaults.
+func NewHeartbeatMonitor(cfg HeartbeatConfig) *HeartbeatMonitor {
+	cfg.fillDefaults()
+	return &HeartbeatMonitor{cfg: cfg}
+}
+
+// Config returns the monitor's effective (default-filled) config.
+func (m *HeartbeatMonitor) Config() HeartbeatConfig { return m.cfg }
+
+// Beat records one heartbeat check at now for a feed whose most recent
+// delivery was at lastDelivery (negative means "never delivered"; the
+// feed is stale until its first delivery). It returns the transition,
+// if any, that this tick caused.
+func (m *HeartbeatMonitor) Beat(now, lastDelivery units.Time) HeartbeatTransition {
+	stale := lastDelivery < 0 || now.Sub(lastDelivery) > m.cfg.StaleAfter
+	if stale {
+		m.streak++
+		if !m.dark && m.streak >= m.cfg.MissThreshold {
+			m.dark = true
+			return HeartbeatWentDark
+		}
+		return HeartbeatNone
+	}
+	m.streak = 0
+	if m.dark {
+		m.dark = false
+		return HeartbeatRecovered
+	}
+	return HeartbeatNone
+}
+
+// Dark reports whether the feed is currently considered dark.
+func (m *HeartbeatMonitor) Dark() bool { return m.dark }
+
+// MissStreak returns the current run of consecutive missed heartbeats.
+func (m *HeartbeatMonitor) MissStreak() int { return m.streak }

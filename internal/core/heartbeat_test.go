@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"planck/internal/units"
+)
+
+func hbms(n int64) units.Time { return units.Time(n) * units.Time(units.Millisecond) }
+
+func TestHeartbeatDarkAndRecover(t *testing.T) {
+	m := NewHeartbeatMonitor(HeartbeatConfig{
+		Interval:      2 * units.Millisecond,
+		StaleAfter:    4 * units.Millisecond,
+		MissThreshold: 2,
+	})
+	last := hbms(10)
+
+	// Fresh ticks: no transition, no streak.
+	if tr := m.Beat(hbms(12), last); tr != HeartbeatNone || m.Dark() {
+		t.Fatalf("fresh beat: %v dark=%v", tr, m.Dark())
+	}
+	// First stale tick: miss, but below threshold.
+	if tr := m.Beat(hbms(16), last); tr != HeartbeatNone || m.Dark() || m.MissStreak() != 1 {
+		t.Fatalf("first miss: %v dark=%v streak=%d", tr, m.Dark(), m.MissStreak())
+	}
+	// Second stale tick crosses the threshold exactly once.
+	if tr := m.Beat(hbms(18), last); tr != HeartbeatWentDark || !m.Dark() {
+		t.Fatalf("second miss: %v dark=%v", tr, m.Dark())
+	}
+	if tr := m.Beat(hbms(20), last); tr != HeartbeatNone || !m.Dark() {
+		t.Fatalf("went-dark must fire once: %v", tr)
+	}
+	// Delivery resumes: one recovery transition, then quiet.
+	if tr := m.Beat(hbms(22), hbms(21)); tr != HeartbeatRecovered || m.Dark() || m.MissStreak() != 0 {
+		t.Fatalf("recovery: %v dark=%v streak=%d", tr, m.Dark(), m.MissStreak())
+	}
+	if tr := m.Beat(hbms(24), hbms(23)); tr != HeartbeatNone {
+		t.Fatalf("recovered must fire once: %v", tr)
+	}
+}
+
+func TestHeartbeatNeverDelivered(t *testing.T) {
+	m := NewHeartbeatMonitor(HeartbeatConfig{Interval: units.Millisecond, MissThreshold: 3})
+	var tr HeartbeatTransition
+	for i := int64(0); i < 3; i++ {
+		tr = m.Beat(hbms(i), -1)
+	}
+	if tr != HeartbeatWentDark {
+		t.Fatalf("a feed that never delivered must go dark after MissThreshold ticks, got %v", tr)
+	}
+}
+
+func TestHeartbeatDefaults(t *testing.T) {
+	m := NewHeartbeatMonitor(HeartbeatConfig{Interval: 3 * units.Millisecond})
+	cfg := m.Config()
+	if cfg.StaleAfter != 6*units.Millisecond {
+		t.Errorf("StaleAfter default = %v, want 2×Interval", cfg.StaleAfter)
+	}
+	if cfg.MissThreshold != 2 {
+		t.Errorf("MissThreshold default = %d, want 2", cfg.MissThreshold)
+	}
+}
+
+func TestCooldownSnapshotRestore(t *testing.T) {
+	cfg := Config{SwitchName: "sw", NumPorts: 4, LinkRate: units.Rate1G}
+	c1 := New(cfg)
+	c1.lastEvent[2] = hbms(50)
+	snap := c1.CooldownSnapshot()
+	if len(snap) != 1 || snap[2] != hbms(50) {
+		t.Fatalf("snapshot = %v, want {2: 50ms}", snap)
+	}
+
+	c2 := New(cfg)
+	c2.lastEvent[1] = hbms(60)
+	c2.lastEvent[2] = hbms(10) // earlier than snapshot: restore must win
+	c2.RestoreCooldowns(snap)
+	if c2.lastEvent[2] != hbms(50) {
+		t.Errorf("restore should take the later time: got %v", c2.lastEvent[2])
+	}
+	if c2.lastEvent[1] != hbms(60) {
+		t.Errorf("restore must not regress unrelated ports: got %v", c2.lastEvent[1])
+	}
+	// Out-of-range ports are ignored, not a panic.
+	c2.RestoreCooldowns(map[int]units.Time{-1: hbms(1), 99: hbms(1)})
+}
+
+func TestShardedCooldownSnapshotRestore(t *testing.T) {
+	cfg := ShardedConfig{Config: Config{SwitchName: "sw", NumPorts: 4, LinkRate: units.Rate1G}, Shards: 2}
+	s1 := NewSharded(cfg)
+	s1.Subscribe(func(CongestionEvent) {})
+	defer s1.Close()
+	if snap := s1.CooldownSnapshot(); len(snap) != 0 {
+		t.Fatalf("fresh sharded collector snapshot = %v, want empty", snap)
+	}
+	s1.RestoreCooldowns(map[int]units.Time{3: hbms(40)})
+	snap := s1.CooldownSnapshot()
+	if len(snap) != 1 || snap[3] != hbms(40) {
+		t.Fatalf("after restore snapshot = %v, want {3: 40ms}", snap)
+	}
+	// Restoring an earlier time must not regress the cooldown.
+	s1.RestoreCooldowns(map[int]units.Time{3: hbms(5)})
+	if got := s1.CooldownSnapshot()[3]; got != hbms(40) {
+		t.Fatalf("earlier restore regressed cooldown to %v", got)
+	}
+}

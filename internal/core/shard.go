@@ -712,6 +712,38 @@ func (s *ShardedCollector) FlowsOnPort(p int) []FlowInfo {
 	return v.flowsOnPort(p, s.cfg.FlowFreshness)
 }
 
+// CooldownSnapshot returns the merger's last congestion-event time per
+// port, omitting ports that never fired; safe from any goroutine. The
+// merger writes these under the view lock, so a snapshot taken after a
+// Flush reflects every accepted sample.
+func (s *ShardedCollector) CooldownSnapshot() map[int]units.Time {
+	v := &s.mg.view
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	snap := make(map[int]units.Time)
+	for p, t := range s.mg.lastEvent {
+		if t > -1<<62 {
+			snap[p] = t
+		}
+	}
+	return snap
+}
+
+// RestoreCooldowns seeds the merger's per-port event cooldowns from a
+// snapshot of a previous incarnation, taking the later time per port
+// (see Collector.RestoreCooldowns). Call it from the control goroutine
+// before the first Ingest, or after a Flush.
+func (s *ShardedCollector) RestoreCooldowns(snap map[int]units.Time) {
+	v := &s.mg.view
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for p, t := range snap {
+		if p >= 0 && p < len(s.mg.lastEvent) && t > s.mg.lastEvent[p] {
+			s.mg.lastEvent[p] = t
+		}
+	}
+}
+
 // ExpireFlows drops flow records idle longer than idle from every shard
 // and the merger view, returning how many were removed. It implies a
 // Flush; call from the control goroutine.

@@ -1,0 +1,404 @@
+// Package faults is a seeded, deterministic fault-injection layer for
+// the Planck reproduction. It models the failures a production
+// deployment of the paper's architecture (§3, §6) actually meets:
+// mirror-path packet loss, corruption, duplication and reordering;
+// collector stalls and crashes; controller↔collector channel
+// partitions and delays; and clock skew between the switch and the
+// collector host.
+//
+// A fault run is described by a Schedule — an ordered set of Rules,
+// each naming a fault Kind, an activation window in virtual time, and
+// a parameter (probability or duration). Schedules are built either
+// programmatically or from a compact spec string (ParseSpec) so that
+// tests, planck-sim, and planck-collector can all share one grammar:
+//
+//	loss:0.5@20ms-40ms,crash@61ms,partition@80ms-95ms
+//
+// The Schedule is pure bookkeeping: it answers "is fault K active at
+// time t, and how hard?". The mirror-path faults are actuated by
+// Injector (injector.go); the control-plane faults (stall, crash,
+// partition, chandelay) are actuated by whoever owns the affected
+// component — the lab's CollectorNode and Supervisor, or a live
+// deployment's supervision loop.
+//
+// Determinism: all randomness comes from a caller-seeded PRNG inside
+// the Injector; the Schedule itself is deterministic. Two runs with
+// the same seed, spec, and input stream inject byte-identical faults.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"planck/internal/units"
+)
+
+// Kind enumerates the fault classes.
+type Kind uint8
+
+const (
+	// KindLoss drops mirrored frames with probability Prob.
+	KindLoss Kind = iota
+	// KindCorrupt flips one byte of a mirrored frame with probability Prob.
+	KindCorrupt
+	// KindDup delivers a mirrored frame twice with probability Prob.
+	KindDup
+	// KindReorder holds a frame and releases it after its successor with
+	// probability Prob, producing a timestamp regression at the collector.
+	KindReorder
+	// KindSkew offsets mirrored sample timestamps by Dur (may be negative).
+	KindSkew
+	// KindStall freezes the collector: samples queue but are not
+	// processed while the window is active.
+	KindStall
+	// KindCrash kills the collector at time From; it stays dead until a
+	// supervisor restarts it.
+	KindCrash
+	// KindPartition severs the collector→controller event channel while
+	// the window is active: deliveries fail and must be retried.
+	KindPartition
+	// KindChanDelay adds Dur of latency to collector→controller event
+	// delivery while the window is active.
+	KindChanDelay
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindLoss:      "loss",
+	KindCorrupt:   "corrupt",
+	KindDup:       "dup",
+	KindReorder:   "reorder",
+	KindSkew:      "skew",
+	KindStall:     "stall",
+	KindCrash:     "crash",
+	KindPartition: "partition",
+	KindChanDelay: "chandelay",
+}
+
+// String returns the spec-grammar name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// probKind reports whether the kind's parameter is a probability.
+func probKind(k Kind) bool {
+	switch k {
+	case KindLoss, KindCorrupt, KindDup, KindReorder:
+		return true
+	}
+	return false
+}
+
+// durKind reports whether the kind's parameter is a duration.
+func durKind(k Kind) bool { return k == KindSkew || k == KindChanDelay }
+
+// Forever marks an open-ended rule window.
+const Forever units.Time = math.MaxInt64
+
+// Rule is one fault activation: Kind is active on [From, To) — To is
+// exclusive so abutting windows do not overlap; To == Forever means
+// open-ended. Prob is used by probability kinds, Dur by duration kinds.
+// KindCrash ignores To: the crash fires once at From.
+type Rule struct {
+	Kind Kind
+	From units.Time
+	To   units.Time
+	Prob float64
+	Dur  units.Duration
+}
+
+// active reports whether the rule covers t.
+func (r Rule) active(t units.Time) bool {
+	return !t.Before(r.From) && (r.To == Forever || t.Before(r.To))
+}
+
+// Schedule is an immutable set of fault rules queried by virtual time.
+// The zero value is an empty schedule (no faults).
+type Schedule struct {
+	rules []Rule
+}
+
+// NewSchedule builds a schedule from rules. Rules are kept in the
+// given order; overlapping rules of the same kind combine (max
+// probability, summed skew, max channel delay).
+func NewSchedule(rules ...Rule) *Schedule {
+	cp := make([]Rule, len(rules))
+	copy(cp, rules)
+	return &Schedule{rules: cp}
+}
+
+// Empty reports whether the schedule contains no rules.
+func (s *Schedule) Empty() bool { return s == nil || len(s.rules) == 0 }
+
+// Rules returns a copy of the rule set.
+func (s *Schedule) Rules() []Rule {
+	if s == nil {
+		return nil
+	}
+	cp := make([]Rule, len(s.rules))
+	copy(cp, s.rules)
+	return cp
+}
+
+// Prob returns the activation probability of a probability kind at t:
+// the maximum over active rules of that kind (0 when none is active).
+func (s *Schedule) Prob(k Kind, t units.Time) float64 {
+	if s == nil {
+		return 0
+	}
+	p := 0.0
+	for _, r := range s.rules {
+		if r.Kind == k && r.active(t) && r.Prob > p {
+			p = r.Prob
+		}
+	}
+	return p
+}
+
+// Skew returns the total timestamp offset active at t (sum of active
+// skew rules, so stacked skews compose).
+func (s *Schedule) Skew(t units.Time) units.Duration {
+	if s == nil {
+		return 0
+	}
+	var d units.Duration
+	for _, r := range s.rules {
+		if r.Kind == KindSkew && r.active(t) {
+			d += r.Dur
+		}
+	}
+	return d
+}
+
+// ChannelDelay returns the extra event-delivery latency active at t
+// (maximum over active chandelay rules).
+func (s *Schedule) ChannelDelay(t units.Time) units.Duration {
+	if s == nil {
+		return 0
+	}
+	var d units.Duration
+	for _, r := range s.rules {
+		if r.Kind == KindChanDelay && r.active(t) && r.Dur > d {
+			d = r.Dur
+		}
+	}
+	return d
+}
+
+// StallActive reports whether a collector stall window covers t.
+func (s *Schedule) StallActive(t units.Time) bool { return s.anyActive(KindStall, t) }
+
+// PartitionActive reports whether a controller partition covers t.
+func (s *Schedule) PartitionActive(t units.Time) bool { return s.anyActive(KindPartition, t) }
+
+func (s *Schedule) anyActive(k Kind, t units.Time) bool {
+	if s == nil {
+		return false
+	}
+	for _, r := range s.rules {
+		if r.Kind == k && r.active(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashTimes returns the sorted times at which crash rules fire.
+func (s *Schedule) CrashTimes() []units.Time {
+	if s == nil {
+		return nil
+	}
+	var ts []units.Time
+	for _, r := range s.rules {
+		if r.Kind == KindCrash {
+			ts = append(ts, r.From)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+// String renders the schedule back into the spec grammar. The result
+// re-parses to an equal schedule (ParseSpec(s.String()) round-trips).
+func (s *Schedule) String() string {
+	if s.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	for i, r := range s.rules {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(r.Kind.String())
+		switch {
+		case probKind(r.Kind):
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatFloat(r.Prob, 'g', -1, 64))
+		case durKind(r.Kind):
+			b.WriteByte(':')
+			b.WriteString(time.Duration(r.Dur).String())
+		}
+		switch {
+		case r.Kind == KindCrash:
+			b.WriteByte('@')
+			b.WriteString(time.Duration(r.From).String())
+		case r.From == 0 && r.To == Forever:
+			// always-on: no window clause
+		case r.To == Forever:
+			b.WriteByte('@')
+			b.WriteString(time.Duration(r.From).String())
+			b.WriteByte('-')
+		default:
+			b.WriteByte('@')
+			b.WriteString(time.Duration(r.From).String())
+			b.WriteByte('-')
+			b.WriteString(time.Duration(r.To).String())
+		}
+	}
+	return b.String()
+}
+
+// ParseSpec parses the compact fault-spec grammar:
+//
+//	spec    = clause *("," clause)
+//	clause  = kind [":" param] ["@" window]
+//	kind    = "loss" | "corrupt" | "dup" | "reorder" | "skew" |
+//	          "stall" | "crash" | "partition" | "chandelay"
+//	param   = probability (loss/corrupt/dup/reorder; default 1) |
+//	          duration    (skew/chandelay; required)
+//	window  = start "-" end   (active on [start, end))
+//	        | start "-"       (active from start, open-ended)
+//	        | start           (crash: fire at start; others: open-ended)
+//	                          (omitted: active for the whole run)
+//
+// Times and durations use Go duration syntax ("20ms", "1.5ms", "500us").
+// Examples:
+//
+//	loss:1@20ms-40ms                  total mirror loss for 20ms
+//	loss:0.05,skew:200us@10ms-        5% steady loss; skew from 10ms on
+//	crash@61ms,partition@80ms-95ms    crash once; partition a window
+func ParseSpec(spec string) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return &Schedule{}, nil
+	}
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			return nil, fmt.Errorf("faults: empty clause in spec %q", spec)
+		}
+		r, err := parseClause(clause)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return &Schedule{rules: rules}, nil
+}
+
+func parseClause(clause string) (Rule, error) {
+	body, window := clause, ""
+	if i := strings.IndexByte(clause, '@'); i >= 0 {
+		body, window = clause[:i], clause[i+1:]
+	}
+	name, param := body, ""
+	if i := strings.IndexByte(body, ':'); i >= 0 {
+		name, param = body[:i], body[i+1:]
+	}
+
+	var r Rule
+	found := false
+	for k, kn := range kindNames {
+		if kn == name {
+			r.Kind = Kind(k)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Rule{}, fmt.Errorf("faults: unknown fault kind %q", name)
+	}
+
+	switch {
+	case probKind(r.Kind):
+		r.Prob = 1
+		if param != "" {
+			p, err := strconv.ParseFloat(param, 64)
+			if err != nil || p < 0 || p > 1 || math.IsNaN(p) {
+				return Rule{}, fmt.Errorf("faults: %s probability %q must be in [0,1]", r.Kind, param)
+			}
+			r.Prob = p
+		}
+	case durKind(r.Kind):
+		if param == "" {
+			return Rule{}, fmt.Errorf("faults: %s requires a duration parameter", r.Kind)
+		}
+		d, err := time.ParseDuration(param)
+		if err != nil {
+			return Rule{}, fmt.Errorf("faults: bad %s duration %q: %v", r.Kind, param, err)
+		}
+		r.Dur = units.Duration(d)
+	default:
+		if param != "" {
+			return Rule{}, fmt.Errorf("faults: %s takes no parameter (got %q)", r.Kind, param)
+		}
+	}
+
+	r.From, r.To = 0, Forever
+	if window != "" {
+		from, to, err := parseWindow(window)
+		if err != nil {
+			return Rule{}, fmt.Errorf("faults: %s: %v", r.Kind, err)
+		}
+		r.From, r.To = from, to
+	} else if r.Kind == KindCrash {
+		return Rule{}, fmt.Errorf("faults: crash requires an @time")
+	}
+	if r.Kind == KindCrash {
+		r.To = r.From
+	}
+	return r, nil
+}
+
+func parseWindow(w string) (from, to units.Time, err error) {
+	// Split on the first '-' past position 0 so a leading sign (never
+	// valid for a window, but harmless to tolerate in the split) does
+	// not produce an empty start.
+	start, end, open := w, "", false
+	if i := strings.IndexByte(w[1:], '-'); i >= 0 {
+		start, end = w[:i+1], w[i+2:]
+		open = end == ""
+	}
+	fd, err := time.ParseDuration(start)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad window start %q: %v", start, err)
+	}
+	if fd < 0 {
+		return 0, 0, fmt.Errorf("window start %q is negative", start)
+	}
+	from = units.Time(fd)
+	to = Forever
+	if end != "" {
+		td, err := time.ParseDuration(end)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad window end %q: %v", end, err)
+		}
+		to = units.Time(td)
+		if !from.Before(to) {
+			return 0, 0, fmt.Errorf("window %q is empty (end <= start)", w)
+		}
+	} else if !open && start == w {
+		// bare "@start": point for crash, open-ended for everything else
+		to = Forever
+	}
+	return from, to, nil
+}

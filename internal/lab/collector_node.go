@@ -2,6 +2,7 @@ package lab
 
 import (
 	"planck/internal/core"
+	"planck/internal/faults"
 	"planck/internal/obs"
 	"planck/internal/sim"
 	"planck/internal/switchsim"
@@ -37,6 +38,25 @@ type CollectorNode struct {
 
 	scratch []byte
 
+	// flt, when set, runs every mirror-path frame through a fault
+	// schedule (loss/corruption/duplication/reordering/skew) before the
+	// collector sees it; sched additionally gates collector stalls.
+	flt   *faults.Injector
+	sched *faults.Schedule
+
+	// crashed models process death: frames arriving while crashed are
+	// freed unprocessed (the NIC ring has no reader), until a supervisor
+	// installs a replacement collector via Restart*.
+	crashed bool
+
+	// lastDelivery is the poll tick that last delivered at least one
+	// post-fault frame to the collector — the heartbeat signal. It is
+	// intentionally the tick's engine time, not a (possibly skewed)
+	// sample timestamp. Boot counts as a delivery so a freshly built
+	// testbed gets a staleness grace period before traffic starts.
+	lastDelivery units.Time
+	delivered    int64
+
 	// SampleLatency records, for every delivered sample, the time from
 	// the sender's stamp (tcpdump-equivalent) to collector delivery —
 	// the measurement latency of §5.2/Fig. 8. Recorded in nanoseconds,
@@ -54,6 +74,13 @@ type CollectorNode struct {
 	// serial-equivalence oracle uses to capture a replayable stream.
 	// The buffer is reused across samples; copy to retain.
 	OnFrame func(at units.Time, frame []byte)
+
+	// OnBatchEnd, when set, fires on the engine goroutine after each
+	// poll batch has been fully processed (sharded pipelines flushed,
+	// all event callbacks delivered). Supervisors drain their
+	// merger-queued events here, so event handling happens-after the
+	// batch without racing the engine.
+	OnBatchEnd func(now units.Time)
 
 	// IngestErrors counts frames the collector rejected.
 	IngestErrors int64
@@ -107,17 +134,104 @@ func (n *CollectorNode) RegisterMetrics(r *obs.Registry, switchName string) {
 // Port returns the node's NIC. It must be connected to a monitor port.
 func (n *CollectorNode) Port() *sim.Port { return n.port }
 
-// ingestOne runs one delivered sample through the collector and the
-// latency accounting shared by both capture paths.
+// SetFaultInjector interposes inj on the mirror path; its schedule
+// additionally drives collector stall windows. Call before Run.
+func (n *CollectorNode) SetFaultInjector(inj *faults.Injector) {
+	n.flt = inj
+	if inj != nil {
+		n.sched = inj.Schedule()
+	} else {
+		n.sched = nil
+	}
+}
+
+// Crash kills the collector process at now: pending frames are freed,
+// the concurrent pipeline (if any) is shut down, and all subsequent
+// arrivals are discarded until Restart. Flow tables, estimators, and
+// cooldown state die with the process — exactly what a supervisor must
+// compensate for.
+func (n *CollectorNode) Crash(now units.Time) {
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	for _, pkt := range n.pending {
+		n.eng.FreePacket(pkt)
+	}
+	n.pending = n.pending[:0]
+	if n.sharded != nil {
+		// Stop the dead pipeline's goroutines. Close drains its queues
+		// first; late events from that drain carry the old generation
+		// and are discarded by the supervisor's subscription guard.
+		n.sharded.Close()
+	}
+}
+
+// Crashed reports whether the node is dead and awaiting a restart.
+func (n *CollectorNode) Crashed() bool { return n.crashed }
+
+// RestartSerial installs a replacement serial collector and resumes
+// capture. The supervisor owns rebuilding state (port mapper, event
+// subscription, cooldown restore) before calling this.
+func (n *CollectorNode) RestartSerial(col *core.Collector) {
+	n.col = col
+	n.sharded = nil
+	n.ing = col
+	n.crashed = false
+}
+
+// RestartSharded is RestartSerial for a replacement concurrent
+// pipeline.
+func (n *CollectorNode) RestartSharded(sc *core.ShardedCollector) {
+	n.col = nil
+	n.sharded = sc
+	n.ing = sc
+	n.crashed = false
+}
+
+// LastDelivery returns the engine time of the last poll tick that
+// delivered at least one frame to the collector (0 = not yet, counts
+// from boot).
+func (n *CollectorNode) LastDelivery() units.Time { return n.lastDelivery }
+
+// Delivered returns how many post-fault frames reached the collector.
+func (n *CollectorNode) Delivered() int64 { return n.delivered }
+
+// ingestOne runs one delivered sample through the fault layer (if any),
+// the collector, and the latency accounting shared by both capture
+// paths.
 func (n *CollectorNode) ingestOne(at units.Time, pkt *sim.Packet) {
 	frame := pkt.WireBytes(n.scratch)
 	n.scratch = frame[:cap(frame)]
+	if n.flt != nil {
+		n.flt.Apply(at, frame, func(t units.Time, fr []byte, current bool) {
+			n.deliverOne(t, fr)
+			if current {
+				n.accountLatency(t, pkt)
+			}
+		})
+		return
+	}
+	n.deliverOne(at, frame)
+	n.accountLatency(at, pkt)
+}
+
+// deliverOne hands one surviving frame to the collector.
+func (n *CollectorNode) deliverOne(at units.Time, frame []byte) {
 	if n.OnFrame != nil {
 		n.OnFrame(at, frame)
 	}
 	if err := n.ing.Ingest(at, frame); err != nil {
+		// Includes timestamp regressions from reordered or negatively
+		// skewed frames — the real collector rejects those too.
 		n.IngestErrors++
 	}
+	n.delivered++
+}
+
+// accountLatency records the measurement-latency histograms for the
+// node's own (non-duplicate, non-replayed) sample.
+func (n *CollectorNode) accountLatency(at units.Time, pkt *sim.Packet) {
 	if pkt.SentAt > 0 {
 		n.SampleLatency.Observe(int64(at.Sub(pkt.SentAt)))
 	}
@@ -135,12 +249,22 @@ func (n *CollectorNode) ingestOne(at units.Time, pkt *sim.Packet) {
 // fixed processing overhead applies.
 func (n *CollectorNode) AttachInSwitch(sw *switchsim.Switch) {
 	sw.SampleSink = func(now units.Time, pkt *sim.Packet) {
+		if n.crashed {
+			return
+		}
+		before := n.delivered
 		n.ingestOne(now.Add(n.overhead), pkt)
 		// With no poll batch there is no natural flush point; drain the
 		// concurrent pipeline per sample so callbacks keep switching-time
 		// latency. (Sharded + in-switch trades hand-off batching away.)
 		if n.sharded != nil {
 			n.sharded.Flush()
+		}
+		if n.delivered > before {
+			n.lastDelivery = now
+		}
+		if n.OnBatchEnd != nil {
+			n.OnBatchEnd(now)
 		}
 	}
 }
@@ -157,7 +281,12 @@ func (n *CollectorNode) Sharded() *core.ShardedCollector { return n.sharded }
 func (n *CollectorNode) Name() string { return "collector" }
 
 // Receive implements sim.Node: buffer the frame until the next poll.
+// While crashed, frames fall on the floor — nothing reads the ring.
 func (n *CollectorNode) Receive(now units.Time, _ *sim.Port, pkt *sim.Packet) {
+	if n.crashed {
+		n.eng.FreePacket(pkt)
+		return
+	}
 	n.pending = append(n.pending, pkt)
 	if n.ticker == nil {
 		n.ticker = sim.NewTicker(n.eng, n.poll, n.deliver)
@@ -166,9 +295,16 @@ func (n *CollectorNode) Receive(now units.Time, _ *sim.Port, pkt *sim.Packet) {
 
 // deliver flushes the pending batch into the collector.
 func (n *CollectorNode) deliver(now units.Time) {
-	if len(n.pending) == 0 {
+	if n.crashed || len(n.pending) == 0 {
 		return
 	}
+	// A stalled collector stops consuming: frames stay queued (kernel
+	// buffers grow) and are delivered — with correspondingly later
+	// timestamps — once the stall window passes.
+	if n.sched.StallActive(now) {
+		return
+	}
+	before := n.delivered
 	at := now.Add(n.overhead)
 	for _, pkt := range n.pending {
 		n.ingestOne(at, pkt)
@@ -181,5 +317,11 @@ func (n *CollectorNode) deliver(now units.Time) {
 	// deterministic (callbacks execute while the engine is parked).
 	if n.sharded != nil {
 		n.sharded.Flush()
+	}
+	if n.delivered > before {
+		n.lastDelivery = now
+	}
+	if n.OnBatchEnd != nil {
+		n.OnBatchEnd(now)
 	}
 }

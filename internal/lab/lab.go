@@ -11,6 +11,7 @@ import (
 
 	"planck/internal/controller"
 	"planck/internal/core"
+	"planck/internal/faults"
 	"planck/internal/obs"
 	"planck/internal/sim"
 	"planck/internal/switchsim"
@@ -48,6 +49,20 @@ type Options struct {
 	// sink instead of a monitor port, so samples see no mirror buffering
 	// and no front-panel port is spent. Requires Mirror.
 	InSwitchCollectors bool
+	// Supervise runs a Supervisor per monitored switch: heartbeat
+	// staleness detection, crash restart with state re-sync, retried
+	// event delivery, and sFlow fallback while the mirror feed is dark.
+	// Supervised collectors route events to the controller through the
+	// supervisor's Deliverer instead of a direct attachment.
+	Supervise bool
+	// SupervisorConfig tunes supervision; zero fields take defaults.
+	SupervisorConfig SupervisorConfig
+	// FaultSpec, when non-empty, is parsed with faults.ParseSpec and
+	// applied to every monitored collector feed at build time (the
+	// programmatic equivalent is Lab.ApplyFaults).
+	FaultSpec string
+	// FaultSeed seeds the fault injectors (0 uses Seed).
+	FaultSeed int64
 	// InitialTrees assigns each destination's PAST tree. Nil picks a
 	// uniform random tree per address (PAST-R), matching the testbed.
 	InitialTrees []int
@@ -74,6 +89,14 @@ type Lab struct {
 	Collectors []*CollectorNode // indexed by switch; nil when unmonitored
 	Ctrl       *controller.Controller
 
+	// Supervisors holds each monitored switch's supervision loop when
+	// Options.Supervise is set (indexed by switch; nil otherwise).
+	Supervisors []*Supervisor
+
+	// Faults is the active fault schedule (nil until ApplyFaults); the
+	// supervisors consult it for partition and channel-delay windows.
+	Faults *faults.Schedule
+
 	// Metrics aggregates every component's instruments: the engine's
 	// vitals, the controller's actuation delays, each collector's
 	// per-stage timings, and each collector node's latency histograms.
@@ -81,6 +104,12 @@ type Lab struct {
 	Metrics *obs.Registry
 
 	opts Options
+
+	// collectorCfgs keeps each monitored switch's filled collector
+	// config so supervisors can rebuild crashed collectors identically.
+	collectorCfgs []core.Config
+	// faultMetrics aggregates injected-fault counters across all feeds.
+	faultMetrics *faults.Metrics
 }
 
 // New builds a testbed.
@@ -120,14 +149,16 @@ func New(opts Options) (*Lab, error) {
 	eng := sim.New()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	l := &Lab{
-		Eng:        eng,
-		Net:        net,
-		Rng:        rng,
-		Switches:   make([]*switchsim.Switch, net.NumSwitches()),
-		Hosts:      make([]*tcpsim.Host, net.NumHosts()),
-		Collectors: make([]*CollectorNode, net.NumSwitches()),
-		Metrics:    obs.NewRegistry(),
-		opts:       opts,
+		Eng:           eng,
+		Net:           net,
+		Rng:           rng,
+		Switches:      make([]*switchsim.Switch, net.NumSwitches()),
+		Hosts:         make([]*tcpsim.Host, net.NumHosts()),
+		Collectors:    make([]*CollectorNode, net.NumSwitches()),
+		Supervisors:   make([]*Supervisor, net.NumSwitches()),
+		Metrics:       obs.NewRegistry(),
+		opts:          opts,
+		collectorCfgs: make([]core.Config, net.NumSwitches()),
 	}
 	eng.RegisterMetrics(l.Metrics)
 
@@ -188,6 +219,7 @@ func New(opts Options) (*Lab, error) {
 			ccfg.NumPorts = len(net.Ports[s])
 			ccfg.LinkRate = net.LineRate
 			ccfg.Metrics = l.Metrics
+			l.collectorCfgs[s] = ccfg
 			var node *CollectorNode
 			if opts.CollectorShards > 0 {
 				sc := core.NewSharded(core.ShardedConfig{Config: ccfg, Shards: opts.CollectorShards})
@@ -204,13 +236,59 @@ func New(opts Options) (*Lab, error) {
 			} else {
 				sim.Connect(node.Port(), l.Switches[s].Port(mp), opts.LinkDelay)
 			}
-			if node.Collector() != nil {
+			l.Collectors[s] = node
+			if opts.Supervise {
+				// Supervised feeds still get the routing oracle, but
+				// their events reach the controller through the
+				// supervisor's retrying Deliverer, not a direct
+				// subscription.
+				if node.Collector() != nil {
+					node.Collector().SetPortMapper(l.Ctrl.Mapper(s))
+				}
+				l.Supervisors[s] = newSupervisor(l, s, node, opts.SupervisorConfig)
+			} else if node.Collector() != nil {
 				l.Ctrl.AttachCollector(s, node.Collector())
 			}
-			l.Collectors[s] = node
 		}
 	}
+	if opts.FaultSpec != "" {
+		sched, err := faults.ParseSpec(opts.FaultSpec)
+		if err != nil {
+			return nil, err
+		}
+		seed := opts.FaultSeed
+		if seed == 0 {
+			seed = opts.Seed
+		}
+		l.ApplyFaults(sched, seed)
+	}
 	return l, nil
+}
+
+// ApplyFaults activates sched on every monitored collector feed: each
+// node gets its own deterministic injector (seeded from seed mixed with
+// the switch index, counters shared across feeds), crash rules are
+// scheduled as engine events, and the schedule is published on
+// l.Faults for the supervisors' partition/delay checks. Call before
+// Run; calling with an empty schedule is a no-op beyond recording it.
+func (l *Lab) ApplyFaults(sched *faults.Schedule, seed int64) {
+	l.Faults = sched
+	if sched.Empty() {
+		return
+	}
+	if l.faultMetrics == nil {
+		l.faultMetrics = &faults.Metrics{}
+		l.faultMetrics.Register(l.Metrics)
+	}
+	for s, node := range l.Collectors {
+		if node == nil {
+			continue
+		}
+		node.SetFaultInjector(faults.NewInjector(sched, seed+int64(s)*7919, l.faultMetrics))
+		for _, ct := range sched.CrashTimes() {
+			l.Eng.Schedule(ct, sim.Callback(node.Crash), nil)
+		}
+	}
 }
 
 // Run drives the simulation until deadline.
@@ -223,3 +301,11 @@ func (l *Lab) Collector(s int) *core.Collector {
 	}
 	return nil
 }
+
+// Supervisor returns switch s's supervision loop, or nil when the lab
+// was built without Options.Supervise.
+func (l *Lab) Supervisor(s int) *Supervisor { return l.Supervisors[s] }
+
+// FaultMetrics returns the shared injected-fault counters, or nil when
+// no faults are active.
+func (l *Lab) FaultMetrics() *faults.Metrics { return l.faultMetrics }

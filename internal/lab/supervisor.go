@@ -1,0 +1,384 @@
+package lab
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"planck/internal/controller"
+	"planck/internal/core"
+	"planck/internal/obs"
+	"planck/internal/packet"
+	"planck/internal/sflow"
+	"planck/internal/sim"
+	"planck/internal/units"
+)
+
+// SupervisorConfig tunes one switch's supervision loop. Zero fields
+// take defaults sized for the millisecond control loop.
+type SupervisorConfig struct {
+	// Heartbeat drives staleness detection on the mirror feed.
+	Heartbeat core.HeartbeatConfig
+	// Backoff tunes retried collector→controller event delivery.
+	Backoff controller.BackoffPolicy
+	// Fallback configures the sFlow estimator the supervisor degrades to
+	// when the mirror feed goes dark (default: the paper's G8264 numbers
+	// — 1-in-1024 sampling capped at 300 samples/s; ms-scale tests raise
+	// ControlPlaneCap so a few-ms dark window still collects samples).
+	Fallback sflow.Config
+	// FallbackWindow is the sliding window the fallback estimator
+	// aggregates over (default 8ms).
+	FallbackWindow units.Duration
+	// Seed feeds the supervisor's private PRNGs (delivery jitter, sFlow
+	// sampling) so supervision never perturbs data-plane determinism.
+	// Defaults to the lab seed mixed with the switch index.
+	Seed int64
+}
+
+// HeartbeatFlip records one dark/live transition of a supervised feed.
+type HeartbeatFlip struct {
+	At   units.Time
+	Dark bool // true = went dark, false = recovered
+}
+
+// supEvent is one queued congestion event tagged with the collector
+// generation that produced it.
+type supEvent struct {
+	gen int
+	ev  core.CongestionEvent
+}
+
+// errPartitioned is what the supervisor's transport reports while a
+// controller partition window is active; the Deliverer retries it.
+var errPartitioned = errors.New("lab: controller channel partitioned")
+
+// Supervisor is the per-switch supervision loop of the robustness
+// layer: it watches the collector feed with a heartbeat, restarts
+// crashed collectors (re-syncing routing state and event cooldowns so
+// replay is idempotent), routes congestion events to the controller
+// through bounded retry with exponential backoff, and degrades to
+// sFlow-style sampling for utilization estimates while the mirror feed
+// is dark — Planck's answer to "what happens when the monitoring plane
+// itself fails".
+//
+// All methods run on the engine goroutine except the event
+// subscription, which may fire on a sharded merger goroutine and only
+// appends to a mutex-guarded queue; the queue drains on the engine
+// goroutine at batch ends and heartbeat ticks.
+type Supervisor struct {
+	lab  *Lab
+	s    int // switch index
+	node *CollectorNode
+	cfg  SupervisorConfig
+
+	hb  *core.HeartbeatMonitor
+	del *controller.Deliverer
+	fb  *fallbackEstimator
+
+	// gen tags the live collector generation; events queued by a dead
+	// generation (e.g. the drain of a crashed sharded pipeline) are
+	// discarded instead of reaching the controller.
+	gen int
+
+	evMu sync.Mutex
+	evQ  []supEvent
+
+	// cooldowns mirrors the per-port event cooldown state from the
+	// supervisor's vantage: it survives collector crashes, dedups event
+	// replay across restarts, and seeds RestoreCooldowns on the
+	// replacement collector.
+	cooldowns map[int]units.Time
+	cooldown  units.Duration
+
+	flips []HeartbeatFlip
+
+	// FallbackActive is 1 while the feed is dark and utilization queries
+	// are served from the sFlow fallback.
+	FallbackActive obs.Gauge
+	// Restarts counts supervised collector restarts.
+	Restarts obs.Counter
+	// Duplicates counts events suppressed by the supervisor's
+	// cross-restart cooldown dedup.
+	Duplicates obs.Counter
+	// StaleEvents counts events discarded because a dead collector
+	// generation emitted them.
+	StaleEvents obs.Counter
+	// MissStreak records, at each recovery, how many heartbeats the feed
+	// missed while dark.
+	MissStreak *obs.Histogram
+}
+
+// newSupervisor wires a supervisor over switch s's collector node and
+// starts its heartbeat ticker.
+func newSupervisor(l *Lab, s int, node *CollectorNode, cfg SupervisorConfig) *Supervisor {
+	if cfg.Seed == 0 {
+		cfg.Seed = l.opts.Seed + int64(s)*7919
+	}
+	sup := &Supervisor{
+		lab:        l,
+		s:          s,
+		node:       node,
+		cfg:        cfg,
+		hb:         core.NewHeartbeatMonitor(cfg.Heartbeat),
+		cooldowns:  make(map[int]units.Time),
+		cooldown:   l.collectorCfgs[s].EventCooldown,
+		MissStreak: obs.NewScaledHistogram(1),
+	}
+	if sup.cooldown == 0 {
+		sup.cooldown = 250 * units.Microsecond
+	}
+
+	// Event transport: fail while partitioned (the Deliverer retries),
+	// defer through an engine timer while a channel-delay window is
+	// active, otherwise hand to the controller synchronously.
+	send := func(now units.Time, ev core.CongestionEvent) error {
+		sched := l.Faults
+		if sched.PartitionActive(now) {
+			return errPartitioned
+		}
+		if d := sched.ChannelDelay(now); d > 0 {
+			l.Eng.After(d, sim.Callback(func(units.Time) { l.Ctrl.DeliverEvent(ev) }), nil)
+			return nil
+		}
+		l.Ctrl.DeliverEvent(ev)
+		return nil
+	}
+	sup.del = controller.NewSimDeliverer(l.Eng, cfg.Backoff, cfg.Seed, send, nil)
+
+	// Graceful-degradation estimator: sFlow-style sampling chained onto
+	// the switch's delivery hook with a supervisor-private PRNG.
+	sup.fb = newFallbackEstimator(cfg.Fallback, cfg.FallbackWindow,
+		len(l.Net.Ports[s]), cfg.Seed+1)
+	sw := l.Switches[s]
+	prev := sw.OnDeliver
+	sw.OnDeliver = func(now units.Time, outPort int, pkt *sim.Packet) {
+		if prev != nil {
+			prev(now, outPort, pkt)
+		}
+		sup.fb.observe(now, outPort, pkt)
+	}
+
+	sup.subscribe()
+	node.OnBatchEnd = sup.drainEvents
+	sim.NewTicker(l.Eng, sup.hb.Config().Interval, sup.tick)
+
+	label := obs.Label("switch", l.Net.SwitchNames[s])
+	l.Metrics.MustRegister("planck_supervisor_fallback_active", &sup.FallbackActive, label)
+	l.Metrics.MustRegister("planck_supervisor_restarts_total", &sup.Restarts, label)
+	l.Metrics.MustRegister("planck_supervisor_duplicates_suppressed_total", &sup.Duplicates, label)
+	l.Metrics.MustRegister("planck_supervisor_stale_events_total", &sup.StaleEvents, label)
+	l.Metrics.MustRegister("planck_supervisor_heartbeat_miss_streak", sup.MissStreak, label)
+	sup.del.Metrics.Register(l.Metrics, label)
+	return sup
+}
+
+// subscribe attaches a generation-tagged event tap to the node's
+// current collector. The closure captures the generation at subscribe
+// time, so events a dead pipeline drains after its crash are
+// identifiable and discarded.
+func (sup *Supervisor) subscribe() {
+	myGen := sup.gen
+	tap := func(ev core.CongestionEvent) {
+		sup.evMu.Lock()
+		sup.evQ = append(sup.evQ, supEvent{myGen, ev})
+		sup.evMu.Unlock()
+	}
+	if sc := sup.node.Sharded(); sc != nil {
+		sc.Subscribe(tap)
+	} else if col := sup.node.Collector(); col != nil {
+		col.Subscribe(tap)
+	}
+}
+
+// drainEvents moves queued events to the controller on the engine
+// goroutine: stale generations are dropped, replayed events inside the
+// cooldown are suppressed, survivors go through the retrying deliverer.
+func (sup *Supervisor) drainEvents(now units.Time) {
+	sup.evMu.Lock()
+	q := sup.evQ
+	sup.evQ = nil
+	sup.evMu.Unlock()
+	for _, e := range q {
+		if e.gen != sup.gen {
+			sup.StaleEvents.Inc()
+			continue
+		}
+		if last, ok := sup.cooldowns[e.ev.Port]; ok && e.ev.Time.Sub(last) < sup.cooldown {
+			sup.Duplicates.Inc()
+			continue
+		}
+		sup.cooldowns[e.ev.Port] = e.ev.Time
+		sup.del.Deliver(now, e.ev)
+	}
+}
+
+// tick is one supervision round: drain events, restart a crashed
+// collector, and run the heartbeat state machine.
+func (sup *Supervisor) tick(now units.Time) {
+	sup.drainEvents(now)
+	if sup.node.Crashed() {
+		sup.restart()
+	}
+	streakBefore := sup.hb.MissStreak()
+	switch sup.hb.Beat(now, sup.node.LastDelivery()) {
+	case core.HeartbeatWentDark:
+		sup.FallbackActive.Set(1)
+		sup.flips = append(sup.flips, HeartbeatFlip{At: now, Dark: true})
+	case core.HeartbeatRecovered:
+		sup.FallbackActive.Set(0)
+		sup.MissStreak.Observe(int64(streakBefore))
+		sup.flips = append(sup.flips, HeartbeatFlip{At: now, Dark: false})
+	}
+}
+
+// restart builds a replacement collector for the crashed one and
+// re-syncs it: fresh routing oracle from the controller (§3.2.1's
+// route sync), restored event cooldowns so replayed congestion does not
+// re-fire inside the cooldown, and a new-generation event tap.
+func (sup *Supervisor) restart() {
+	sup.gen++
+	ccfg := sup.lab.collectorCfgs[sup.s]
+	// The first collector registered this switch's instruments; a
+	// duplicate registration would panic, so replacements run bare.
+	ccfg.Metrics = nil
+	mapper := sup.lab.Ctrl.Mapper(sup.s)
+	if shards := sup.lab.opts.CollectorShards; shards > 0 {
+		sc := core.NewSharded(core.ShardedConfig{Config: ccfg, Shards: shards})
+		sc.SetPortMapper(mapper)
+		sc.RestoreCooldowns(sup.cooldowns)
+		sup.node.RestartSharded(sc)
+	} else {
+		col := core.New(ccfg)
+		col.SetPortMapper(mapper)
+		col.RestoreCooldowns(sup.cooldowns)
+		sup.node.RestartSerial(col)
+	}
+	sup.subscribe()
+	sup.Restarts.Inc()
+}
+
+// Dark reports whether the feed is currently dark (fallback active).
+func (sup *Supervisor) Dark() bool { return sup.hb.Dark() }
+
+// Flips returns the dark/live transition history.
+func (sup *Supervisor) Flips() []HeartbeatFlip {
+	return append([]HeartbeatFlip(nil), sup.flips...)
+}
+
+// Generation returns the live collector generation (0 = original).
+func (sup *Supervisor) Generation() int { return sup.gen }
+
+// Deliverer exposes the event-delivery state machine (for its metrics).
+func (sup *Supervisor) Deliverer() *controller.Deliverer { return sup.del }
+
+// Heartbeat exposes the staleness monitor.
+func (sup *Supervisor) Heartbeat() *core.HeartbeatMonitor { return sup.hb }
+
+// Utilization answers "how loaded is port p right now" from the best
+// available source: the collector's ms-scale estimate while the feed is
+// live, the sFlow fallback while it is dark — graceful degradation
+// rather than a blind spot.
+func (sup *Supervisor) Utilization(p int) units.Rate {
+	if sup.hb.Dark() {
+		return sup.fb.Utilization(sup.lab.Eng.Now(), p)
+	}
+	if sc := sup.node.Sharded(); sc != nil {
+		return sc.LinkUtilization(p)
+	}
+	if col := sup.node.Collector(); col != nil {
+		return col.LinkUtilization(p)
+	}
+	return 0
+}
+
+// FallbackUtilization reads the sFlow estimator directly, regardless of
+// feed state.
+func (sup *Supervisor) FallbackUtilization(p int) units.Rate {
+	return sup.fb.Utilization(sup.lab.Eng.Now(), p)
+}
+
+// fbBuckets is the ring size of the fallback estimator: the window is
+// split into 8 buckets so estimates age out smoothly.
+const fbBuckets = 8
+
+type fbBucket struct {
+	id    int64 // absolute bucket number; stale entries are lazily reset
+	bytes int64 // sampled bytes landed in this bucket
+}
+
+// fallbackEstimator is the degraded monitoring path: one-in-N sampling
+// through a modelled control-plane cap (internal/sflow), aggregated
+// into per-port sliding-window utilization by count multiplication —
+// exactly the coarse estimator of §2.1 that Planck improves on, kept
+// around as the safety net when the mirror feed dies.
+type fallbackEstimator struct {
+	cfg       sflow.Config
+	window    units.Duration
+	bucketDur units.Duration
+	sampler   *sflow.Sampler
+	rings     [][fbBuckets]fbBucket // per egress port
+
+	// curPort routes each sample to its port: the sampler's callback has
+	// no port argument, so observe stashes it here. Engine-goroutine
+	// only.
+	curPort int
+}
+
+func newFallbackEstimator(cfg sflow.Config, window units.Duration, ports int, seed int64) *fallbackEstimator {
+	if cfg.SampleRate <= 0 || cfg.ControlPlaneCap <= 0 {
+		def := sflow.DefaultG8264()
+		if cfg.SampleRate <= 0 {
+			cfg.SampleRate = def.SampleRate
+		}
+		if cfg.ControlPlaneCap <= 0 {
+			cfg.ControlPlaneCap = def.ControlPlaneCap
+		}
+	}
+	if window <= 0 {
+		window = 8 * units.Millisecond
+	}
+	fb := &fallbackEstimator{
+		cfg:       cfg,
+		window:    window,
+		bucketDur: window / fbBuckets,
+		rings:     make([][fbBuckets]fbBucket, ports),
+	}
+	fb.sampler = sflow.NewSampler(cfg, rand.New(rand.NewSource(seed)), fb.record)
+	return fb
+}
+
+// observe offers one switched packet to the sampler.
+func (fb *fallbackEstimator) observe(now units.Time, outPort int, pkt *sim.Packet) {
+	if outPort < 0 || outPort >= len(fb.rings) {
+		return
+	}
+	fb.curPort = outPort
+	fb.sampler.Observe(now, pkt.FlowKey(), pkt.WireLen)
+}
+
+// record lands one selected sample in its time bucket.
+func (fb *fallbackEstimator) record(t units.Time, _ packet.FlowKey, wireLen int) {
+	id := int64(t) / int64(fb.bucketDur)
+	b := &fb.rings[fb.curPort][id%fbBuckets]
+	if b.id != id {
+		b.id, b.bytes = id, 0
+	}
+	b.bytes += int64(wireLen)
+}
+
+// Utilization estimates port p's rate at now: sampled bytes in the
+// window × N / window.
+func (fb *fallbackEstimator) Utilization(now units.Time, p int) units.Rate {
+	if p < 0 || p >= len(fb.rings) {
+		return 0
+	}
+	cur := int64(now) / int64(fb.bucketDur)
+	var bytes int64
+	for i := range fb.rings[p] {
+		b := fb.rings[p][i]
+		if b.id > cur-fbBuckets && b.id <= cur {
+			bytes += b.bytes
+		}
+	}
+	return units.RateOf(bytes*int64(fb.cfg.SampleRate), fb.window)
+}

@@ -23,13 +23,17 @@
 package planck
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"planck/internal/core"
+	"planck/internal/faults"
 	"planck/internal/lab"
 	"planck/internal/pcap"
 	"planck/internal/te"
@@ -72,6 +76,21 @@ type (
 	Duration = units.Duration
 	// Rate is a data rate in bits per second.
 	Rate = units.Rate
+
+	// FaultSchedule describes which faults are active when; build one
+	// with ParseFaultSpec or faults.NewSchedule.
+	FaultSchedule = faults.Schedule
+	// FaultRule is one activation window inside a FaultSchedule.
+	FaultRule = faults.Rule
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = faults.Kind
+	// FaultInjector actuates a schedule's mirror-path faults on a frame
+	// stream.
+	FaultInjector = faults.Injector
+	// FaultMetrics counts injected faults.
+	FaultMetrics = faults.Metrics
+	// FaultyIngester interposes a FaultInjector in front of any Ingester.
+	FaultyIngester = faults.FaultyIngester
 )
 
 // Common rate constants.
@@ -98,6 +117,20 @@ type Ingester interface {
 // NewRateEstimator returns an estimator with the paper's constants
 // (200 µs minimum burst gap, 700 µs maximum window).
 func NewRateEstimator() *RateEstimator { return core.NewRateEstimator() }
+
+// ParseFaultSpec parses the compact fault-spec grammar shared by tests,
+// planck-sim, and planck-collector, e.g.
+// "loss:0.05,skew:200us@10ms-,crash@61ms". See faults.ParseSpec for the
+// full grammar.
+func ParseFaultSpec(spec string) (*FaultSchedule, error) { return faults.ParseSpec(spec) }
+
+// WrapFaults interposes a seeded fault injector in front of any
+// ingester: frames pass through sched's mirror-path faults
+// (loss/corruption/duplication/reordering/skew) before next sees them.
+// Identical (spec, seed, stream) triples inject identical faults.
+func WrapFaults(next Ingester, sched *FaultSchedule, seed int64) *FaultyIngester {
+	return faults.Wrap(next, faults.NewInjector(sched, seed, nil))
+}
 
 // ReplayPcap streams a pcap file through a collector (serial or
 // sharded), returning the number of frames ingested. Decode errors on
@@ -168,27 +201,46 @@ type UDPServeStats struct {
 	IngestErrors atomic.Int64
 }
 
-// ServeUDP ingests encapsulated samples from conn into the collector
-// until the connection is closed or maxSamples arrive (0 = unbounded).
-// It returns the number of samples ingested. Malformed datagrams and
-// per-frame decode errors are counted by the collector, not fatal.
-func ServeUDP(conn net.PacketConn, c Ingester, maxSamples int) (int, error) {
-	return ServeUDPObserved(conn, c, maxSamples, nil)
+// ErrUDPServeClosed marks an ingest loop that ended because its
+// transport was torn down — the connection closed under it or its
+// context was cancelled — rather than by reaching its sample budget.
+// Match it with errors.Is.
+var ErrUDPServeClosed = errors.New("planck: udp serve loop closed")
+
+// UDPCloseError is the typed teardown error of ServeUDPContext: the
+// loop stopped before its budget and this records why and how far it
+// got. It matches ErrUDPServeClosed and unwraps to the transport or
+// context error that ended the loop.
+type UDPCloseError struct {
+	// Samples is how many datagrams had been processed when the loop
+	// stopped.
+	Samples int
+	// Cause is the read or context error that ended the loop.
+	Cause error
 }
 
-// ServeUDPObserved is ServeUDP with malformed-input accounting: when st
-// is non-nil, every datagram is classified into one of its counters as
-// it is processed, so a live deployment can watch its ingest health.
-func ServeUDPObserved(conn net.PacketConn, c Ingester, maxSamples int, st *UDPServeStats) (int, error) {
+// Error implements error.
+func (e *UDPCloseError) Error() string {
+	return fmt.Sprintf("planck: udp serve loop closed after %d samples: %v", e.Samples, e.Cause)
+}
+
+// Unwrap exposes the underlying transport/context error.
+func (e *UDPCloseError) Unwrap() error { return e.Cause }
+
+// Is reports true for ErrUDPServeClosed so callers can classify the
+// shutdown without naming this type.
+func (e *UDPCloseError) Is(target error) bool { return target == ErrUDPServeClosed }
+
+// serveUDP is the shared ingest loop. It returns the raw read error
+// that ended the loop (nil when the sample budget was reached); the
+// exported wrappers decide how teardown surfaces.
+func serveUDP(conn net.PacketConn, c Ingester, maxSamples int, st *UDPServeStats) (int, error) {
 	buf := make([]byte, 65536)
 	n := 0
 	var lastT Time
 	for maxSamples == 0 || n < maxSamples {
 		ln, _, err := conn.ReadFrom(buf)
 		if err != nil {
-			if n > 0 {
-				return n, nil // closed after useful work
-			}
 			return n, err
 		}
 		t, frame, err := DecodeSample(buf[:ln])
@@ -215,6 +267,53 @@ func ServeUDPObserved(conn net.PacketConn, c Ingester, maxSamples int, st *UDPSe
 		n++
 	}
 	return n, nil
+}
+
+// ServeUDP ingests encapsulated samples from conn into the collector
+// until the connection is closed or maxSamples arrive (0 = unbounded).
+// It returns the number of samples ingested. Malformed datagrams and
+// per-frame decode errors are counted by the collector, not fatal.
+// Teardown after useful work returns (n, nil); use ServeUDPContext for
+// cancellation and a typed teardown error.
+func ServeUDP(conn net.PacketConn, c Ingester, maxSamples int) (int, error) {
+	return ServeUDPObserved(conn, c, maxSamples, nil)
+}
+
+// ServeUDPObserved is ServeUDP with malformed-input accounting: when st
+// is non-nil, every datagram is classified into one of its counters as
+// it is processed, so a live deployment can watch its ingest health.
+func ServeUDPObserved(conn net.PacketConn, c Ingester, maxSamples int, st *UDPServeStats) (int, error) {
+	n, err := serveUDP(conn, c, maxSamples, st)
+	if err != nil && n > 0 {
+		return n, nil // closed after useful work
+	}
+	return n, err
+}
+
+// ServeUDPContext is the supervised form of ServeUDPObserved: ctx
+// cancellation stops the loop promptly (the in-flight read is
+// interrupted via a read deadline), and any early stop — cancellation
+// or a closed connection — is reported as a *UDPCloseError matching
+// ErrUDPServeClosed, never silently swallowed. Reaching the sample
+// budget returns (n, nil).
+func ServeUDPContext(ctx context.Context, conn net.PacketConn, c Ingester, maxSamples int, st *UDPServeStats) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		// Interrupt the blocked ReadFrom; the loop exits with a timeout
+		// error and the context error takes precedence below.
+		conn.SetReadDeadline(time.Now())
+	})
+	defer stop()
+	n, err := serveUDP(conn, c, maxSamples, st)
+	if err == nil {
+		return n, nil
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		err = ctxErr
+	}
+	return n, &UDPCloseError{Samples: n, Cause: err}
 }
 
 // NewFatTreeTestbed assembles the paper's 16-host, 20-switch fat-tree

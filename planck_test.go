@@ -2,6 +2,8 @@ package planck
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -216,6 +218,106 @@ func TestServeUDPObservedMalformedAccounting(t *testing.T) {
 	}
 	if got := st.IngestErrors.Load(); got != 1 {
 		t.Fatalf("IngestErrors = %d, want 1", got)
+	}
+}
+
+// TestServeUDPContextCancel: cancelling the context stops an unbounded
+// serve loop promptly and reports the teardown as a typed error instead
+// of the legacy (n, nil).
+func TestServeUDPContextCancel(t *testing.T) {
+	lc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	col := NewCollector(CollectorConfig{SwitchName: "live", LinkRate: 10 * Gbps})
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		n, err := ServeUDPContext(ctx, lc, col, 0, nil)
+		done <- result{n, err}
+	}()
+
+	sender, err := net.Dial("udp", lc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	frame := packetpkg.BuildTCP(nil, packetpkg.TCPSpec{
+		SrcMAC: packetpkg.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packetpkg.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: packetpkg.IPv4{10, 0, 0, 1}, DstIP: packetpkg.IPv4{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 2000, Seq: 0, Flags: packetpkg.TCPAck, PayloadLen: 100,
+	})
+	// Send until the loop has visibly consumed at least one sample, then
+	// cancel mid-stream.
+	deadline := time.Now().Add(2 * time.Second)
+	for col.Stats().Samples == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("loop never consumed a sample")
+		}
+		if _, err := sender.Write(EncodeSample(nil, Time(1000000), frame)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case res := <-done:
+		if res.n == 0 {
+			t.Error("no samples before cancellation")
+		}
+		if !errors.Is(res.err, ErrUDPServeClosed) {
+			t.Fatalf("err = %v, want ErrUDPServeClosed", res.err)
+		}
+		var ce *UDPCloseError
+		if !errors.As(res.err, &ce) {
+			t.Fatalf("err = %T, want *UDPCloseError", res.err)
+		}
+		if ce.Samples != res.n {
+			t.Errorf("UDPCloseError.Samples = %d, want %d", ce.Samples, res.n)
+		}
+		if !errors.Is(res.err, context.Canceled) {
+			t.Errorf("cause = %v, want context.Canceled", ce.Cause)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve loop did not stop after cancellation")
+	}
+}
+
+// TestFacadeFaultWrap: the fault layer is reachable from the facade —
+// a spec parses, wraps any Ingester, and deterministically injects.
+func TestFacadeFaultWrap(t *testing.T) {
+	sched, err := ParseFaultSpec("loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(CollectorConfig{SwitchName: "faulty", LinkRate: 10 * Gbps})
+	fi := WrapFaults(col, sched, 1)
+	frame := packetpkg.BuildTCP(nil, packetpkg.TCPSpec{
+		SrcMAC: packetpkg.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packetpkg.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: packetpkg.IPv4{10, 0, 0, 1}, DstIP: packetpkg.IPv4{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 2000, Seq: 0, Flags: packetpkg.TCPAck, PayloadLen: 100,
+	})
+	for i := 0; i < 50; i++ {
+		if err := fi.Ingest(Time(i)*1000, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := col.Stats().Samples; got != 0 {
+		t.Fatalf("total loss let %d samples through", got)
+	}
+	if got := fi.Injector().Metrics().Lost.Value(); got != 50 {
+		t.Fatalf("Lost = %d, want 50", got)
+	}
+
+	if _, err := ParseFaultSpec("crash"); err == nil {
+		t.Fatal("crash without @time accepted")
 	}
 }
 
