@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke check bench bench-obs bench-shard clean
+.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke check bench bench-obs bench-shard bench-ingest bench-gate clean
 
 all: check
 
@@ -43,8 +43,9 @@ chaos-smoke: vet
 	$(GO) test -race -run 'TestChaos|TestHeartbeat' -timeout 15m ./internal/lab/ ./internal/core/
 	$(GO) test -run xxx -fuzz FuzzParseSpec -fuzztime 5s ./internal/faults/
 
-# check is the tier-1 gate: everything must compile, vet clean, and pass.
-check: vet build test race-fast
+# check is the tier-1 gate: everything must compile, vet clean, pass,
+# and hold the committed ingest hot-path budget.
+check: vet build test race-fast bench-gate
 
 # bench runs the per-figure testing.B targets once each.
 bench: vet
@@ -61,6 +62,19 @@ bench-obs: vet
 # the report records the host's value).
 bench-shard: vet
 	$(GO) run ./cmd/planck-bench -shard-json BENCH_shard.json
+
+# bench-ingest measures the ingest hot path (serial and batched, plus
+# the flow-table vs builtin-map microbenchmark pair) into
+# BENCH_ingest.json — the committed baseline bench-gate compares against.
+# Regenerate pinned to one CPU so the gated row is the per-sample serial
+# budget, not a scheduling artifact.
+bench-ingest: vet
+	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -ingest-json BENCH_ingest.json
+
+# bench-gate re-measures ingest_serial and fails if it regressed more
+# than 15% against the committed BENCH_ingest.json baseline.
+bench-gate: vet
+	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -ingest-json - -gate-against BENCH_ingest.json
 
 clean:
 	rm -f BENCH_obs.json BENCH_shard.json

@@ -1,0 +1,7 @@
+package main
+
+import "testing"
+
+func BenchmarkIngestSerial(b *testing.B)  { benchIngestMix(b, 0) }
+func BenchmarkIngestBatched(b *testing.B) { benchIngestBatched(b) }
+func BenchmarkTableLookup(b *testing.B)   { benchTableLookup(b) }

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"planck/internal/core"
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// ingestBenchReport is BENCH_ingest.json: the serial ingest hot path
+// measured bare and batched, plus the flow-table microbenchmarks that
+// isolate the open-addressed table against the built-in map it
+// replaced. ingest_serial is the gated row — the collector's per-sample
+// budget — so the report also records the parallelism context.
+type ingestBenchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Rows       []obsBenchRow `json:"rows"`
+}
+
+// runIngestBench measures the ingest hot path and writes the rows as
+// JSON to path ("-" for stdout, "" to skip writing). gateAgainst, when
+// non-empty, is a committed baseline report; the run fails if the fresh
+// ingest_serial ns/op regressed more than 15% against it.
+func runIngestBench(path, gateAgainst string) error {
+	rep := ingestBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	add := func(name string, r testing.BenchmarkResult) {
+		rep.Rows = append(rep.Rows, obsBenchRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Fprintf(os.Stderr, "%-32s %10.1f ns/op %6d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+
+	add("ingest_serial", testing.Benchmark(func(b *testing.B) {
+		benchIngestMix(b, 0)
+	}))
+	add("ingest_batched", testing.Benchmark(benchIngestBatched))
+	add("table_lookup", testing.Benchmark(benchTableLookup))
+	add("map_lookup", testing.Benchmark(benchMapLookup))
+
+	if path != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if path == "-" {
+			if _, err := os.Stdout.Write(out); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+	}
+
+	if gateAgainst != "" {
+		return gateIngestSerial(rep, gateAgainst)
+	}
+	return nil
+}
+
+// gateIngestSerial compares the fresh ingest_serial measurement against
+// the committed baseline and fails on a >15% ns/op regression — the
+// hot-path perf contract enforced by `make bench-gate`.
+func gateIngestSerial(rep ingestBenchReport, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench gate: %w", err)
+	}
+	var base ingestBenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bench gate: parse %s: %w", baselinePath, err)
+	}
+	find := func(rows []obsBenchRow) (obsBenchRow, bool) {
+		for _, r := range rows {
+			if r.Name == "ingest_serial" {
+				return r, true
+			}
+		}
+		return obsBenchRow{}, false
+	}
+	baseRow, ok := find(base.Rows)
+	if !ok {
+		return fmt.Errorf("bench gate: %s has no ingest_serial row", baselinePath)
+	}
+	newRow, _ := find(rep.Rows)
+	const tolerance = 1.15
+	limit := baseRow.NsPerOp * tolerance
+	if newRow.NsPerOp > limit {
+		return fmt.Errorf("bench gate: ingest_serial %.1f ns/op exceeds baseline %.1f ns/op +15%% (%.1f)",
+			newRow.NsPerOp, baseRow.NsPerOp, limit)
+	}
+	fmt.Fprintf(os.Stderr, "bench gate: ingest_serial %.1f ns/op within baseline %.1f ns/op +15%% (%.1f)\n",
+		newRow.NsPerOp, baseRow.NsPerOp, limit)
+	return nil
+}
+
+// benchFrames builds the 64-flow frame templates the ingest benchmarks
+// share with benchIngestMix's workload.
+func benchFrames(nFlows int) [][]byte {
+	frames := make([][]byte, nFlows)
+	for i := range frames {
+		frames[i] = packet.BuildTCP(nil, packet.TCPSpec{
+			SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+			SrcIP: packet.IPv4{10, 0, 0, 1}, DstIP: packet.IPv4{10, 0, 1, byte(i)},
+			SrcPort: uint16(1000 + i), DstPort: 2000,
+			Flags: packet.TCPAck, PayloadLen: 1460,
+		})
+	}
+	return frames
+}
+
+// benchIngestBatched is benchIngestMix's 64-flow workload delivered
+// through IngestBatch in chunks of 64 — the end-to-end batched sample
+// path (monotone fast path, one sample-counter write per chunk).
+func benchIngestBatched(b *testing.B) {
+	const nFlows = 64
+	col := core.New(core.Config{SwitchName: "bench", NumPorts: 8, LinkRate: units.Rate10G})
+	frames := benchFrames(nFlows)
+	seqs := make([]uint32, nFlows)
+	seqOff := packet.EthernetHeaderLen + packet.IPv4MinHeaderLen + 4
+
+	bts := make([]units.Time, 0, nFlows)
+	bframes := make([][]byte, 0, nFlows)
+	var t0 units.Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := i % nFlows
+		frame := frames[f]
+		seq := seqs[f]
+		frame[seqOff] = byte(seq >> 24)
+		frame[seqOff+1] = byte(seq >> 16)
+		frame[seqOff+2] = byte(seq >> 8)
+		frame[seqOff+3] = byte(seq)
+		bts = append(bts, t0)
+		bframes = append(bframes, frame)
+		if len(bts) == nFlows {
+			if err := col.IngestBatch(bts, bframes); err != nil {
+				b.Fatal(err)
+			}
+			bts = bts[:0]
+			bframes = bframes[:0]
+		}
+		seqs[f] = seq + 1460
+		t0 = t0.Add(units.Duration(123))
+	}
+	if len(bts) > 0 {
+		if err := col.IngestBatch(bts, bframes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// benchTableLookup isolates the open-addressed FlowTable: hash + probe
+// for a resident 64-flow population, the per-sample table cost inside
+// the ingest path.
+func benchTableLookup(b *testing.B) {
+	const nFlows = 64
+	var tab core.FlowTable
+	keys := make([]packet.FlowKey, nFlows)
+	for i := range keys {
+		keys[i] = packet.FlowKey{
+			SrcIP: packet.IPv4{10, 0, 0, 1}, DstIP: packet.IPv4{10, 0, 1, byte(i)},
+			SrcPort: uint16(1000 + i), DstPort: 2000, Proto: packet.IPProtocolTCP,
+		}
+		tab.GetOrInsert(core.HashFlowKey(keys[i]), keys[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%nFlows]
+		if tab.Lookup(core.HashFlowKey(k), k) == nil {
+			b.Fatal("lost key")
+		}
+	}
+}
+
+// benchMapLookup is benchTableLookup against the built-in
+// map[FlowKey]*FlowState the table replaced — the before/after pair
+// quoted in EXPERIMENTS.md.
+func benchMapLookup(b *testing.B) {
+	const nFlows = 64
+	m := make(map[packet.FlowKey]*core.FlowState)
+	keys := make([]packet.FlowKey, nFlows)
+	for i := range keys {
+		keys[i] = packet.FlowKey{
+			SrcIP: packet.IPv4{10, 0, 0, 1}, DstIP: packet.IPv4{10, 0, 1, byte(i)},
+			SrcPort: uint16(1000 + i), DstPort: 2000, Proto: packet.IPProtocolTCP,
+		}
+		m[keys[i]] = &core.FlowState{Key: keys[i]}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m[keys[i%nFlows]] == nil {
+			b.Fatal("lost key")
+		}
+	}
+}

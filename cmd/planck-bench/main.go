@@ -168,6 +168,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	obsJSON := flag.String("obs-json", "", "run the observability microbenchmarks, write JSON here (\"-\" = stdout), and exit")
 	shardJSON := flag.String("shard-json", "", "run the sharded-vs-serial ingest benchmarks, write JSON here (\"-\" = stdout), and exit")
+	ingestJSON := flag.String("ingest-json", "", "run the ingest hot-path benchmarks, write JSON here (\"-\" = stdout), and exit")
+	gateAgainst := flag.String("gate-against", "", "with -ingest-json: fail if ingest_serial regressed >15% vs this baseline report")
 	flag.Parse()
 
 	if *obsJSON != "" {
@@ -179,6 +181,13 @@ func main() {
 	}
 	if *shardJSON != "" {
 		if err := runShardBench(*shardJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ingestJSON != "" || *gateAgainst != "" {
+		if err := runIngestBench(*ingestJSON, *gateAgainst); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

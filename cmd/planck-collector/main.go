@@ -12,6 +12,12 @@
 //	planck-collector -pcap capture.pcap -fault "loss:0.05,skew:200us" -fault-seed 7
 //	planck-collector -listen :5601 -max-samples 100000
 //	planck-collector -listen :5601 -metrics :9090 -stats-every 5s
+//	planck-collector -listen :5601 -batch 64
+//
+// The live listener drains the socket in batched read cycles (-batch
+// datagrams per cycle, default 32) and hands each cycle to the
+// collector in one IngestBatch call; -batch 0 falls back to one
+// Ingest per datagram.
 //
 // -shards > 1 runs the concurrent hash-partitioned pipeline (default is
 // one shard per GOMAXPROCS); results are identical to the serial
@@ -27,7 +33,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"os"
 	"runtime"
@@ -36,7 +41,6 @@ import (
 	"planck"
 	"planck/internal/core"
 	"planck/internal/obs"
-	"planck/internal/pcap"
 	"planck/internal/units"
 )
 
@@ -50,6 +54,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = off)")
 	statsEvery := flag.Duration("stats-every", 0, "period between one-line stats reports on stderr (0 = off)")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "collector shards; >1 runs the concurrent hash-partitioned pipeline")
+	batch := flag.Int("batch", planck.DefaultUDPBatch, "live-listener drain batch: datagrams ingested per batched read cycle (0 = one Ingest per datagram)")
 	faultSpec := flag.String("fault", "", `fault-injection spec applied to the ingest stream, e.g. "loss:0.05" or "loss@20ms-40ms,skew:200us" (empty = off)`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector's PRNG")
 	flag.Parse()
@@ -130,7 +135,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("listening on %s\n", conn.LocalAddr())
-		n, err := planck.ServeUDPObserved(conn, col, *maxSamples, &udpStats)
+		var n int
+		if *batch > 0 {
+			n, err = planck.ServeUDPBatched(conn, col, *maxSamples, *batch, &udpStats)
+		} else {
+			n, err = planck.ServeUDPObserved(conn, col, *maxSamples, &udpStats)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -147,23 +157,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		r, err := pcap.NewReader(f)
+		n, err := planck.ReplayPcap(f, col)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		for {
-			rec, err := r.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			_ = col.Ingest(rec.Time, rec.Data)
-			frames++
-		}
+		frames = n
 	}
 
 	// Quiesce the concurrent pipeline before the final report so Stats

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -144,7 +145,7 @@ type Collector struct {
 	mapper PortMapper
 
 	dec   packet.Decoded
-	flows map[packet.FlowKey]*FlowState
+	flows FlowTable
 
 	// portFlows[p] holds flows currently mapped to egress port p.
 	portFlows [][]*FlowState
@@ -159,16 +160,18 @@ type Collector struct {
 	now units.Time
 
 	met collectorMetrics
+
+	// cooldownScratch backs CooldownSnapshot so periodic supervisor
+	// snapshots reuse one map instead of allocating per call.
+	cooldownScratch map[int]units.Time
 }
 
 // New creates a collector.
 func New(cfg Config) *Collector {
 	cfg.fillDefaults()
-	c := &Collector{
-		cfg:   cfg,
-		flows: make(map[packet.FlowKey]*FlowState),
-	}
+	c := &Collector{cfg: cfg}
 	c.met.init(cfg.StageTiming || cfg.Metrics != nil)
+	c.flows.probe = c.met.probeLen
 	if cfg.Metrics != nil {
 		c.register(cfg.Metrics)
 	}
@@ -192,9 +195,7 @@ func New(cfg Config) *Collector {
 // further sample arrives before the next utilization query.
 func (c *Collector) SetPortMapper(m PortMapper) {
 	c.mapper = m
-	for _, f := range c.flows {
-		c.remapFlow(f)
-	}
+	c.flows.Iterate(func(f *FlowState) { c.remapFlow(f) })
 }
 
 // Subscribe registers fn for congestion events.
@@ -209,24 +210,47 @@ func (c *Collector) SubscribeFlowBoundaries(fn func(t units.Time, key packet.Flo
 }
 
 // Stats returns a snapshot of the collector's counters. OutOfOrder is
-// aggregated across live flow estimators, so it can shrink when idle
-// flows are expired (the registry's out_of_order_total counter is the
-// monotonic variant).
+// the same monotonic count the registry's out_of_order_total counter
+// exposes: it never shrinks, even when idle flows are expired. (It
+// formerly re-aggregated live estimators on every call — an
+// O(live-flows) scan whose result also dipped on expiry.)
 func (c *Collector) Stats() Stats {
-	s := Stats{
-		Samples:        c.met.samples.Value(),
-		DecodeErrors:   c.met.decodeErrors.Value(),
-		NonTCP:         c.met.nonTCP.Value(),
+	return Stats{
+		Samples:      c.met.samples.Value(),
+		DecodeErrors: c.met.decodeErrors.Value(),
+		NonTCP:       c.met.nonTCP.Value(),
+		// The flow count reads the gauge, not the table: every insert and
+		// expiry updates it, and unlike FlowTable.Len it is safe against a
+		// concurrent snapshot while the owning goroutine ingests.
+		Flows:          int(c.met.flowTableSize.Value()),
 		RateUpdates:    c.met.rateUpdates.Value(),
 		EventsEmitted:  c.met.events.Value(),
+		OutOfOrder:     c.met.outOfOrder.Value(),
 		UnmappedOutput: c.met.unmapped.Value(),
 	}
-	s.Flows = len(c.flows)
-	for _, f := range c.flows {
-		s.OutOfOrder += f.Est.OOO
-	}
-	return s
 }
+
+// BatchError reports per-frame failures inside an IngestBatch call.
+// Processing does not stop at a failed frame — the remaining frames are
+// ingested, exactly as a caller looping over Ingest would continue —
+// so the error carries the failure count plus the first failure for
+// diagnosis.
+type BatchError struct {
+	// Failed is how many frames of the batch returned an error.
+	Failed int
+	// Index is the batch index of the first failing frame.
+	Index int
+	// Err is the first failure.
+	Err error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("core: %d of batch failed (first at %d): %v", e.Failed, e.Index, e.Err)
+}
+
+// Unwrap exposes the first per-frame failure.
+func (e *BatchError) Unwrap() error { return e.Err }
 
 // Ingest processes one sampled frame captured at time t. Timestamps must
 // be non-decreasing. The frame buffer is only borrowed for the call.
@@ -234,8 +258,76 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 	if t < c.now {
 		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, c.now)
 	}
+	c.met.samples.IncRelaxed()
+	return c.ingest(t, frame, 0)
+}
+
+// ingestHashed is Ingest with a flow hash precomputed by the caller
+// (the sharded dispatcher shares its partition hash this way); 0 means
+// unknown.
+func (c *Collector) ingestHashed(t units.Time, frame []byte, h uint64) error {
+	if t < c.now {
+		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, c.now)
+	}
+	c.met.samples.IncRelaxed()
+	return c.ingest(t, frame, h)
+}
+
+// IngestBatch processes a batch of sampled frames, ts[i] stamping
+// frames[i]. It computes exactly what the equivalent Ingest loop
+// computes, amortizing the per-sample accounting over the batch when
+// the batch's timestamps are non-decreasing (per-frame failures do not
+// stop the batch; they are summarized in a *BatchError). len(ts) must
+// equal len(frames); the frame buffers are only borrowed for the call.
+func (c *Collector) IngestBatch(ts []units.Time, frames [][]byte) error {
+	n := len(ts)
+	if len(frames) < n {
+		n = len(frames)
+	}
+	if n == 0 {
+		return nil
+	}
+	if h := c.met.batchSamples; h != nil {
+		h.Observe(int64(n))
+	}
+	mono := ts[0] >= c.now
+	for i := 1; mono && i < n; i++ {
+		mono = ts[i] >= ts[i-1]
+	}
+	var be *BatchError
+	if mono {
+		// No frame can hit the timestamp check, so the whole batch counts
+		// as samples up front with one counter write.
+		c.met.samples.AddRelaxed(int64(n))
+		for i := 0; i < n; i++ {
+			if err := c.ingest(ts[i], frames[i], 0); err != nil {
+				if be == nil {
+					be = &BatchError{Index: i, Err: err}
+				}
+				be.Failed++
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if err := c.Ingest(ts[i], frames[i]); err != nil {
+				if be == nil {
+					be = &BatchError{Index: i, Err: err}
+				}
+				be.Failed++
+			}
+		}
+	}
+	if be != nil {
+		return be
+	}
+	return nil
+}
+
+// ingest is the hot path shared by Ingest and IngestBatch: the
+// timestamp has been validated and the sample counted by the caller.
+// h is the precomputed flow hash (0 = compute here).
+func (c *Collector) ingest(t units.Time, frame []byte, h uint64) error {
 	c.now = t
-	c.met.samples.Inc()
 	if c.ring != nil {
 		c.ring.Push(t, frame)
 	}
@@ -254,10 +346,10 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 		// ARP and other non-IP traffic still lands in the ring; it just
 		// carries no sequence stream to estimate from.
 		if c.dec.Has(packet.LayerARP) {
-			c.met.nonTCP.Inc()
+			c.met.nonTCP.IncRelaxed()
 			return nil
 		}
-		c.met.decodeErrors.Inc()
+		c.met.decodeErrors.IncRelaxed()
 		return err
 	}
 	if timed {
@@ -266,30 +358,44 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 		t0 = now
 	}
 	if !c.dec.Has(packet.LayerTCP) {
-		c.met.nonTCP.Inc()
+		c.met.nonTCP.IncRelaxed()
 		if c.cfg.UDPSeqEnabled && c.dec.Has(packet.LayerUDP) {
-			c.ingestUDP(t, frame)
+			c.ingestUDP(t, frame, h)
 		}
 		if timed {
 			c.met.ingest.Observe(obs.Nanos() - start)
 		}
 		return nil
 	}
-	key, _ := c.dec.Flow()
-	f := c.flows[key]
+	// The 5-tuple comes straight off the decoder fields: Flow() is not
+	// inlinable and its call would cost a fifth of the hot path.
+	key := packet.FlowKey{
+		SrcIP: c.dec.IP.Src, DstIP: c.dec.IP.Dst,
+		SrcPort: c.dec.TCP.SrcPort, DstPort: c.dec.TCP.DstPort,
+		Proto: c.dec.IP.Protocol,
+	}
+	if h == 0 {
+		// Equivalent to HashFlowKey(key), spelled out because that call
+		// exceeds the inlining budget while mixFlowHash fits. The src‖dst
+		// word loads from the frame, not the key copy: the frame bytes are
+		// read-only and cache-hot after Decode.
+		a := binary.BigEndian.Uint64(frame[packet.EthernetHeaderLen+12 : packet.EthernetHeaderLen+20])
+		h = mixFlowHash(a, uint64(key.SrcPort)<<24|uint64(key.DstPort)<<8|uint64(key.Proto))
+	}
+	// Lookup inlines; GetOrInsert (the rare miss) does not.
+	f, inserted := c.flows.Lookup(h, key), false
 	if f == nil {
-		f = &FlowState{
-			Key:       key,
-			FirstSeen: t,
-			outPort:   -1,
-		}
+		f, inserted = c.flows.GetOrInsert(h, key)
+	}
+	if inserted {
+		f.FirstSeen = t
+		f.outPort = -1
 		f.Est.MinGap = c.cfg.MinGap
 		f.Est.MaxBurst = c.cfg.MaxBurst
 		if c.cfg.TrackRetransmits {
 			f.Rtx = &RetransmitEstimator{}
 		}
-		c.flows[key] = f
-		c.met.flowTableSize.Set(int64(len(c.flows)))
+		c.met.flowTableSize.Set(int64(c.flows.Len()))
 	}
 	f.LastSeen = t
 	f.SampledPackets++
@@ -326,13 +432,13 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 		f.Rtx.Observe(t, c.dec.PayloadLen, f.Est.OOO > oooBefore, f.Est.StreamBytes())
 	}
 	if f.Est.OOO > oooBefore {
-		c.met.outOfOrder.Inc()
+		c.met.outOfOrder.IncRelaxed()
 	}
 	if timed {
 		c.met.stageEstimate.Observe(obs.Nanos() - t0)
 	}
 	if updated {
-		c.met.rateUpdates.Inc()
+		c.met.rateUpdates.IncRelaxed()
 		c.checkCongestion(t, f)
 	}
 	if timed {
@@ -343,7 +449,8 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 
 // ingestUDP estimates UDP flow throughput from an application-level
 // packet counter embedded in the payload (§3.2.2's generalization).
-func (c *Collector) ingestUDP(t units.Time, frame []byte) {
+// h is the precomputed flow hash (0 = compute here).
+func (c *Collector) ingestUDP(t units.Time, frame []byte, h uint64) {
 	off := packet.EthernetHeaderLen + c.dec.IP.HeaderLen() + packet.UDPHeaderLen + c.cfg.UDPSeqOffset
 	if off < 0 || off+4 > len(frame) {
 		// A negative offset can only come from a mis-set UDPSeqOffset, but
@@ -356,13 +463,17 @@ func (c *Collector) ingestUDP(t units.Time, frame []byte) {
 	if !ok {
 		return
 	}
-	f := c.flows[key]
-	if f == nil {
-		f = &FlowState{Key: key, FirstSeen: t, outPort: -1, Pkt: NewPacketSeqEstimator()}
+	if h == 0 {
+		h = HashFlowKey(key)
+	}
+	f, inserted := c.flows.GetOrInsert(h, key)
+	if inserted {
+		f.FirstSeen = t
+		f.outPort = -1
+		f.Pkt = NewPacketSeqEstimator()
 		f.Pkt.Est.MinGap = c.cfg.MinGap
 		f.Pkt.Est.MaxBurst = c.cfg.MaxBurst
-		c.flows[key] = f
-		c.met.flowTableSize.Set(int64(len(c.flows)))
+		c.met.flowTableSize.Set(int64(c.flows.Len()))
 	}
 	if f.Pkt == nil {
 		f.Pkt = NewPacketSeqEstimator()
@@ -375,7 +486,7 @@ func (c *Collector) ingestUDP(t units.Time, frame []byte) {
 		c.remapFlow(f)
 	}
 	if f.Pkt.Observe(t, seq, c.dec.WireLen) {
-		c.met.rateUpdates.Inc()
+		c.met.rateUpdates.IncRelaxed()
 		c.checkCongestion(t, f)
 	}
 }
@@ -387,7 +498,7 @@ func (c *Collector) remapFlow(f *FlowState) {
 		if p, ok := c.mapper.OutputPort(f.DstMAC); ok {
 			newPort = p
 		} else {
-			c.met.unmapped.Inc()
+			c.met.unmapped.IncRelaxed()
 		}
 	}
 	if newPort == f.outPort {
@@ -445,7 +556,7 @@ func (c *Collector) checkCongestion(t units.Time, f *FlowState) {
 		Capacity:   c.cfg.LinkRate,
 		Flows:      c.FlowsOnPort(p),
 	}
-	c.met.events.Inc()
+	c.met.events.IncRelaxed()
 	for _, fn := range c.subs {
 		fn(ev)
 	}
@@ -459,14 +570,30 @@ func (c *Collector) checkCongestion(t units.Time, f *FlowState) {
 // every delivered event so that a replacement collector can be seeded
 // with RestoreCooldowns and not re-fire events the controller has
 // already acted on.
+//
+// The returned map is an internal scratch reused by the next
+// CooldownSnapshot call on this collector — copy it (or use
+// CooldownSnapshotInto with your own map) to retain it across calls.
 func (c *Collector) CooldownSnapshot() map[int]units.Time {
-	snap := make(map[int]units.Time)
+	c.cooldownScratch = c.CooldownSnapshotInto(c.cooldownScratch)
+	return c.cooldownScratch
+}
+
+// CooldownSnapshotInto is CooldownSnapshot writing into dst (cleared
+// first), so periodic snapshotters stop allocating a map per call. A
+// nil dst allocates one. Returns dst.
+func (c *Collector) CooldownSnapshotInto(dst map[int]units.Time) map[int]units.Time {
+	if dst == nil {
+		dst = make(map[int]units.Time, len(c.lastEvent))
+	} else {
+		clear(dst)
+	}
 	for p, t := range c.lastEvent {
 		if t > -1<<62 {
-			snap[p] = t
+			dst[p] = t
 		}
 	}
-	return snap
+	return dst
 }
 
 // RestoreCooldowns seeds per-port event cooldowns from a snapshot taken
@@ -520,38 +647,46 @@ func (c *Collector) FlowsOnPort(p int) []FlowInfo {
 
 // FlowRate answers the per-flow query API.
 func (c *Collector) FlowRate(k packet.FlowKey) (units.Rate, bool) {
-	f := c.flows[k]
+	f := c.flows.Lookup(HashFlowKey(k), k)
 	if f == nil {
 		return 0, false
 	}
 	return f.Rate()
 }
 
-// Flow returns the full flow record for k, or nil.
-func (c *Collector) Flow(k packet.FlowKey) *FlowState { return c.flows[k] }
+// Flow returns the full flow record for k, or nil. The record is owned
+// by the flow table: it is recycled when the flow expires, so do not
+// retain the pointer across ExpireFlows.
+func (c *Collector) Flow(k packet.FlowKey) *FlowState {
+	return c.flows.Lookup(HashFlowKey(k), k)
+}
 
 // Flows iterates over all flow records.
-func (c *Collector) Flows(fn func(f *FlowState)) {
-	for _, f := range c.flows {
-		fn(f)
-	}
+func (c *Collector) Flows(fn func(f *FlowState)) { c.flows.Iterate(fn) }
+
+// FlowTableProbeStats reports the flow table's current mean and
+// maximum lookup probe length — an on-demand health check.
+func (c *Collector) FlowTableProbeStats() (mean float64, max int) {
+	return c.flows.ProbeStats()
 }
 
 // ExpireFlows drops flow records idle longer than idle, returning how
-// many were removed. Call periodically from the hosting process.
+// many were removed. Expired records are recycled — pointers obtained
+// from Flow/Flows before the call are invalid after it. Call
+// periodically from the hosting process.
 func (c *Collector) ExpireFlows(now units.Time, idle units.Duration) int {
 	n := 0
-	for k, f := range c.flows {
+	c.flows.Iterate(func(f *FlowState) {
 		if now.Sub(f.LastSeen) > idle {
 			if f.outPort >= 0 && f.outPort < len(c.portFlows) {
 				c.portFlows[f.outPort] = removeFlow(c.portFlows[f.outPort], f)
 			}
-			delete(c.flows, k)
+			c.flows.Remove(f)
 			n++
 		}
-	}
+	})
 	if n > 0 {
-		c.met.flowTableSize.Set(int64(len(c.flows)))
+		c.met.flowTableSize.Set(int64(c.flows.Len()))
 	}
 	return n
 }

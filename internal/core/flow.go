@@ -142,6 +142,13 @@ type FlowState struct {
 	// pipeline on first sight (0 = unassigned); the merger's flow view
 	// is indexed by it. Unused in serial operation.
 	id int32
+
+	// hash caches the record's flow hash so FlowTable.Remove and port
+	// remaps relocate it without rehashing; live marks a slab record as
+	// present in the table (false = free-listed). Both are maintained
+	// by FlowTable.
+	hash uint64
+	live bool
 }
 
 // Rate returns the flow's latest throughput estimate.

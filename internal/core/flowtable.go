@@ -1,0 +1,300 @@
+package core
+
+// This file implements the collector's flow table: an open-addressing
+// hash table with linear probing, backward-shift deletion, and
+// FlowState records allocated inline from never-moving slabs. The
+// built-in map[FlowKey]*FlowState it replaces costs a generic hash, a
+// bucket walk, and a heap-pointer dereference per sample; here a lookup
+// is one multiply-mix hash plus a short probe over 16-byte slots that
+// usually resolves in a single cache line, and the hash itself is
+// computed once per sample and shared with the sharded dispatcher's
+// partition decision (see flowHash). This is the same design pressure
+// NetFlow-style collectors face: per-packet flow-record cost dominates,
+// so the table is the hot path.
+//
+// Invariants:
+//   - slot occupancy is f != nil; slot.hash caches the record's hash so
+//     probes compare 8 bytes before the 13-byte key;
+//   - records never move: slabs are fixed-size arrays kept alive for
+//     the table's lifetime, so *FlowState pointers handed out (port
+//     lists, Flow()) stay valid until the record is Removed;
+//   - Remove recycles the record through a free list and zeroes it, so
+//     pointers obtained before a Remove must not be retained across it;
+//   - deletion backward-shifts the probe chain (no tombstones), so
+//     probe lengths never degrade as flows churn.
+
+import (
+	"encoding/binary"
+
+	"planck/internal/obs"
+	"planck/internal/packet"
+)
+
+const (
+	// flowSlabSize is how many FlowState records one slab holds. Slabs
+	// never move and are never freed; expiry recycles records through
+	// the free list.
+	flowSlabSize = 256
+	// flowTableMinSlots is the initial probe-array size (power of two).
+	flowTableMinSlots = 64
+)
+
+// Odd 64-bit mixing constants (golden ratio and Murmur3/xxhash
+// derivatives) for the two-word flow hash.
+const (
+	hashC1 = 0x9e3779b97f4a7c15
+	hashC2 = 0xc2b2ae3d27d4eb4f
+)
+
+// fmix64 is Murmur3's 64-bit finalizer: full avalanche, so both the
+// table's mask-indexing and the dispatcher's modulo see well-mixed bits
+// even for flow populations with correlated low bytes (sequential
+// ports, sequential addresses).
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// mixFlowHash combines the two packed words of a 5-tuple. The result is
+// never zero: zero is reserved as the "hash not precomputed" sentinel
+// carried through the batch pipeline.
+func mixFlowHash(a, b uint64) uint64 {
+	h := fmix64(a*hashC1 ^ b*hashC2)
+	if h == 0 {
+		h = hashC1
+	}
+	return h
+}
+
+// HashFlowKey hashes a decoded 5-tuple for FlowTable addressing. It is
+// bit-identical to flowHash over the raw frame bytes of the same tuple,
+// so a hash computed once at the dispatcher serves both the shard
+// partition and the shard's table probe, and key-based query paths
+// (FlowRate, Flow) find records inserted from frame bytes.
+// Written as one expression to stay under the inlining budget; callers
+// in query loops (and the table microbenchmark) get it for free.
+func HashFlowKey(k packet.FlowKey) uint64 {
+	return mixFlowHash(
+		uint64(binary.BigEndian.Uint32(k.SrcIP[:]))<<32|uint64(binary.BigEndian.Uint32(k.DstIP[:])),
+		uint64(k.SrcPort)<<24|uint64(k.DstPort)<<8|uint64(k.Proto))
+}
+
+// flowHash computes the same hash as HashFlowKey straight from raw
+// frame bytes, without a full decode — the dispatcher's per-sample
+// peek. ok is false when the frame carries no recognizable IPv4 TCP/UDP
+// transport flow (such frames hold no flow-table state; any stable
+// shard assignment works for them).
+func flowHash(frame []byte) (uint64, bool) {
+	if len(frame) < packet.EthernetHeaderLen+packet.IPv4MinHeaderLen {
+		return 0, false
+	}
+	if frame[12] != 0x08 || frame[13] != 0x00 {
+		return 0, false
+	}
+	ip := frame[packet.EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return 0, false
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < packet.IPv4MinHeaderLen || len(ip) < ihl+4 {
+		return 0, false
+	}
+	proto := ip[9]
+	if proto != uint8(packet.IPProtocolTCP) && proto != uint8(packet.IPProtocolUDP) {
+		return 0, false
+	}
+	a := binary.BigEndian.Uint64(ip[12:20]) // src ‖ dst IPv4
+	sp := uint64(ip[ihl])<<8 | uint64(ip[ihl+1])
+	dp := uint64(ip[ihl+2])<<8 | uint64(ip[ihl+3])
+	return mixFlowHash(a, sp<<24|dp<<8|uint64(proto)), true
+}
+
+// flowSlot is one probe-array entry: the record's cached hash plus the
+// pointer into its slab. Empty slots have f == nil.
+type flowSlot struct {
+	hash uint64
+	f    *FlowState
+}
+
+// FlowTable is the open-addressed flow-record store. The zero value is
+// ready to use; it is not safe for concurrent mutation (each collector
+// goroutine owns one).
+type FlowTable struct {
+	slots  []flowSlot
+	mask   uint64
+	growAt int // count at which the probe array doubles (~75% load)
+	count  int
+
+	slabs [][]FlowState
+	free  []*FlowState
+
+	// probe, when set, observes the probe length of each insert — a
+	// cheap standing proxy for table health that stays off the
+	// per-lookup path.
+	probe *obs.Histogram
+}
+
+// Len returns the number of live records.
+func (t *FlowTable) Len() int { return t.count }
+
+// Lookup returns the record for (h, k), or nil. h must be HashFlowKey(k).
+func (t *FlowTable) Lookup(h uint64, k packet.FlowKey) *FlowState {
+	if t.count == 0 {
+		return nil
+	}
+	mask := t.mask
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := t.slots[i]
+		if s.f == nil {
+			return nil
+		}
+		if s.hash == h && s.f.Key == k {
+			return s.f
+		}
+	}
+}
+
+// GetOrInsert returns the record for (h, k), creating it when absent.
+// A created record is zeroed except for Key (and the table's internal
+// bookkeeping); the caller initializes the rest. h must be
+// HashFlowKey(k).
+func (t *FlowTable) GetOrInsert(h uint64, k packet.FlowKey) (f *FlowState, inserted bool) {
+	if t.count >= t.growAt {
+		t.rehash()
+	}
+	mask := t.mask
+	i := h & mask
+	for dist := int64(0); ; dist++ {
+		s := &t.slots[i]
+		if s.f == nil {
+			f = t.alloc()
+			f.Key = k
+			f.hash = h
+			f.live = true
+			s.hash = h
+			s.f = f
+			t.count++
+			if t.probe != nil {
+				t.probe.Observe(dist)
+			}
+			return f, true
+		}
+		if s.hash == h && s.f.Key == k {
+			return s.f, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Remove deletes f from the table, backward-shifting the probe chain so
+// no tombstone is left, and recycles the record. f must be a live
+// record of this table; it is zeroed and must not be used afterwards.
+func (t *FlowTable) Remove(f *FlowState) {
+	mask := t.mask
+	i := f.hash & mask
+	for t.slots[i].f != f {
+		i = (i + 1) & mask
+	}
+	// Backward shift: any later chain member whose probe distance
+	// reaches back to slot i (or earlier) can legally occupy i; pull the
+	// first such member up and continue from its slot until a hole.
+	for {
+		j := (i + 1) & mask
+		for {
+			s := t.slots[j]
+			if s.f == nil {
+				t.slots[i] = flowSlot{}
+				t.count--
+				*f = FlowState{}
+				t.free = append(t.free, f)
+				return
+			}
+			if (j-s.hash)&mask >= (j-i)&mask {
+				t.slots[i] = s
+				i = j
+				break
+			}
+			j = (j + 1) & mask
+		}
+	}
+}
+
+// Iterate calls fn for every live record, in slab (insertion-slot)
+// order. Removing records during iteration — including the current one
+// — is safe: iteration walks the never-moving slabs, not the probe
+// array. Inserting during iteration is not.
+func (t *FlowTable) Iterate(fn func(*FlowState)) {
+	for _, slab := range t.slabs {
+		for i := range slab {
+			if slab[i].live {
+				fn(&slab[i])
+			}
+		}
+	}
+}
+
+// alloc hands out a zeroed record from the free list, cutting a new
+// slab when empty. Records never move once allocated.
+func (t *FlowTable) alloc() *FlowState {
+	if n := len(t.free); n > 0 {
+		f := t.free[n-1]
+		t.free = t.free[:n-1]
+		return f
+	}
+	slab := make([]FlowState, flowSlabSize)
+	t.slabs = append(t.slabs, slab)
+	for i := flowSlabSize - 1; i > 0; i-- {
+		t.free = append(t.free, &slab[i])
+	}
+	return &slab[0]
+}
+
+// rehash doubles the probe array (or cuts the initial one) and
+// reinserts every live slot. Records themselves do not move.
+func (t *FlowTable) rehash() {
+	n := uint64(len(t.slots)) * 2
+	if n == 0 {
+		n = flowTableMinSlots
+	}
+	slots := make([]flowSlot, n)
+	mask := n - 1
+	for _, s := range t.slots {
+		if s.f == nil {
+			continue
+		}
+		i := s.hash & mask
+		for slots[i].f != nil {
+			i = (i + 1) & mask
+		}
+		slots[i] = s
+	}
+	t.slots = slots
+	t.mask = mask
+	t.growAt = int(n - n/4)
+}
+
+// ProbeStats scans the probe array and returns the mean and maximum
+// probe length a Lookup of each live record would take right now — an
+// on-demand health check that costs nothing on the ingest path.
+func (t *FlowTable) ProbeStats() (mean float64, max int) {
+	if t.count == 0 {
+		return 0, 0
+	}
+	var total uint64
+	for j := range t.slots {
+		s := t.slots[j]
+		if s.f == nil {
+			continue
+		}
+		d := int((uint64(j) - s.hash) & t.mask)
+		total += uint64(d)
+		if d > max {
+			max = d
+		}
+	}
+	return float64(total) / float64(t.count), max
+}

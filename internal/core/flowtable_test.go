@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"planck/internal/packet"
+)
+
+// ftKey draws from a deliberately small key space (~2k distinct keys)
+// so a long random op sequence revisits keys constantly: re-finds,
+// remove-then-reinsert, and enough live flows to force several table
+// growths past the initial 64 slots.
+func ftKey(rng *rand.Rand) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP:   packet.IPv4{10, 0, 0, byte(rng.Intn(8))},
+		DstIP:   packet.IPv4{10, 0, 1, byte(rng.Intn(4))},
+		SrcPort: uint16(rng.Intn(64)),
+		DstPort: uint16(2000 + rng.Intn(2)),
+		Proto:   packet.IPProtocolTCP,
+	}
+}
+
+// TestFlowTableDifferential drives FlowTable and a plain
+// map[FlowKey]*FlowState oracle through the same randomized op stream —
+// insert, lookup (hit and miss), remove, full iteration — and demands
+// they agree after every step: same membership, same record pointers
+// (slab records must never move), same length.
+func TestFlowTableDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99} {
+		rng := rand.New(rand.NewSource(seed))
+		var tab FlowTable
+		oracle := map[packet.FlowKey]*FlowState{}
+		var live []packet.FlowKey
+		for op := 0; op < 20000; op++ {
+			switch r := rng.Intn(100); {
+			case r < 50: // insert, or re-find when live
+				k := ftKey(rng)
+				h := HashFlowKey(k)
+				f, inserted := tab.GetOrInsert(h, k)
+				if f == nil || f.Key != k {
+					t.Fatalf("seed %d op %d: GetOrInsert(%v) returned record for %v", seed, op, k, f.Key)
+				}
+				if of, ok := oracle[k]; ok {
+					if inserted {
+						t.Fatalf("seed %d op %d: re-inserted live key %v", seed, op, k)
+					}
+					if of != f {
+						t.Fatalf("seed %d op %d: record for %v moved: %p != %p", seed, op, k, f, of)
+					}
+				} else {
+					if !inserted {
+						t.Fatalf("seed %d op %d: GetOrInsert(%v) found a record the oracle lacks", seed, op, k)
+					}
+					f.SampledPackets = int64(op) // payload marker, checked at iteration
+					oracle[k] = f
+					live = append(live, k)
+				}
+			case r < 75: // lookup, often a miss
+				k := ftKey(rng)
+				f := tab.Lookup(HashFlowKey(k), k)
+				if of := oracle[k]; f != of {
+					t.Fatalf("seed %d op %d: Lookup(%v) = %p, oracle %p", seed, op, k, f, of)
+				}
+			case r < 95: // remove a random live record
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				k := live[i]
+				tab.Remove(oracle[k])
+				delete(oracle, k)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if tab.Lookup(HashFlowKey(k), k) != nil {
+					t.Fatalf("seed %d op %d: %v still found after Remove", seed, op, k)
+				}
+			default: // full iteration agrees with the oracle
+				seen := make(map[packet.FlowKey]bool, len(oracle))
+				tab.Iterate(func(f *FlowState) {
+					if seen[f.Key] {
+						t.Fatalf("seed %d op %d: Iterate visited %v twice", seed, op, f.Key)
+					}
+					seen[f.Key] = true
+					if oracle[f.Key] != f {
+						t.Fatalf("seed %d op %d: Iterate record for %v is not the oracle's", seed, op, f.Key)
+					}
+				})
+				if len(seen) != len(oracle) || tab.Len() != len(oracle) {
+					t.Fatalf("seed %d op %d: iterate saw %d, Len %d, oracle %d",
+						seed, op, len(seen), tab.Len(), len(oracle))
+				}
+			}
+		}
+		for k, of := range oracle {
+			if tab.Lookup(HashFlowKey(k), k) != of {
+				t.Fatalf("seed %d: final sweep lost %v", seed, k)
+			}
+		}
+		if mean, max := tab.ProbeStats(); tab.Len() > 0 && (mean < 0 || max >= len(tab.slots)) {
+			t.Fatalf("seed %d: degenerate probe stats mean=%v max=%d", seed, mean, max)
+		}
+	}
+}
+
+// TestFlowTableBackwardShiftWrapAround pins the deletion edge cases the
+// differential test only hits probabilistically: probe clusters built
+// with hand-picked hashes that collide on low bits and wrap around the
+// end of the 64-slot probe array. After every removal, every surviving
+// record must remain reachable from its home slot — the invariant
+// backward-shift deletion exists to maintain.
+func TestFlowTableBackwardShiftWrapAround(t *testing.T) {
+	for trial, lows := range [][]uint64{
+		{63, 63, 63, 63, 63},      // one cluster wrapping 63 → 0 → …
+		{60, 61, 62, 63, 0, 1, 2}, // distinct home slots straddling the wrap
+		{62, 62, 0, 0, 62, 1, 63}, // interleaved homes, shifts across the seam
+		{0, 0, 0, 63, 63, 63},     // two clusters meeting at the seam
+	} {
+		var tab FlowTable
+		type ent struct {
+			h uint64
+			k packet.FlowKey
+		}
+		var ents []ent
+		for i, lo := range lows {
+			k := packet.FlowKey{
+				SrcIP: ipA, DstIP: ipB,
+				SrcPort: uint16(100*trial + i), DstPort: 7,
+				Proto: packet.IPProtocolTCP,
+			}
+			// Same low bits under any power-of-two mask ≥ 64 slots; high
+			// bits keep the hashes distinct.
+			h := lo | uint64(i+1)<<32
+			if f, inserted := tab.GetOrInsert(h, k); !inserted || f.Key != k {
+				t.Fatalf("trial %d: insert %d: inserted=%v key=%v", trial, i, inserted, f.Key)
+			}
+			ents = append(ents, ent{h, k})
+		}
+		for n := 0; len(ents) > 0; n++ {
+			i := (n * 3) % len(ents) // rotate removal position through the cluster
+			e := ents[i]
+			f := tab.Lookup(e.h, e.k)
+			if f == nil {
+				t.Fatalf("trial %d: %v unreachable before its removal", trial, e.k)
+			}
+			tab.Remove(f)
+			ents = append(ents[:i], ents[i+1:]...)
+			if tab.Len() != len(ents) {
+				t.Fatalf("trial %d: Len %d after removal, want %d", trial, tab.Len(), len(ents))
+			}
+			for _, o := range ents {
+				if tab.Lookup(o.h, o.k) == nil {
+					t.Fatalf("trial %d: removing %v orphaned %v", trial, e.k, o.k)
+				}
+			}
+		}
+	}
+}
+
+// TestFlowHashMatchesKeyHash checks the contract that lets one hash
+// serve both the dispatcher and the table: for any frame the decoder
+// extracts a flow from, flowHash over the raw bytes equals HashFlowKey
+// over the decoded key.
+func TestFlowHashMatchesKeyHash(t *testing.T) {
+	frames := [][]byte{
+		packet.BuildTCP(nil, packet.TCPSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+			SrcPort: 1234, DstPort: 80, Seq: 99, Flags: packet.TCPAck, PayloadLen: 1460,
+		}),
+		packet.BuildTCP(nil, packet.TCPSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: packet.IPv4{192, 168, 255, 1}, DstIP: packet.IPv4{10, 255, 0, 9},
+			SrcPort: 65535, DstPort: 1, Seq: 0, Flags: packet.TCPSyn,
+		}),
+		packet.BuildUDP(nil, packet.UDPSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+			SrcPort: 4000, DstPort: 4001, PayloadLen: 400, Seq: 7, HasSeq: true,
+		}),
+	}
+	for i, fr := range frames {
+		h, ok := flowHash(fr)
+		if !ok {
+			t.Fatalf("frame %d: flowHash rejected a transport frame", i)
+		}
+		var dec packet.Decoded
+		if err := dec.Decode(fr); err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		key, okK := dec.Flow()
+		if !okK {
+			t.Fatalf("frame %d: decoder extracted no flow", i)
+		}
+		if kh := HashFlowKey(key); kh != h {
+			t.Fatalf("frame %d: flowHash %#x != HashFlowKey %#x for %v", i, h, kh, key)
+		}
+	}
+
+	arp := packet.BuildARP(nil, packet.ARPSpec{
+		SrcMAC: macA, DstMAC: macB, Op: packet.ARPRequest,
+		SenderMAC: macA, SenderIP: ipA, TargetIP: ipB,
+	})
+	if _, ok := flowHash(arp); ok {
+		t.Fatal("flowHash accepted an ARP frame")
+	}
+	if _, ok := flowHash(frames[0][:20]); ok {
+		t.Fatal("flowHash accepted a truncated frame")
+	}
+}
+
+// FuzzFlowTable interprets the fuzz input as an op stream over a tiny
+// key space and cross-checks FlowTable against the map oracle, the same
+// way the differential test does but with coverage-guided inputs.
+func FuzzFlowTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 1, 2, 2, 1, 2, 3, 0, 0})
+	f.Add([]byte{0, 5, 0, 0, 5, 1, 0, 5, 2, 2, 5, 0, 2, 5, 1, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tab FlowTable
+		oracle := map[packet.FlowKey]*FlowState{}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, a, b := data[i], data[i+1], data[i+2]
+			k := packet.FlowKey{
+				SrcIP: ipA, DstIP: ipB,
+				SrcPort: uint16(a), DstPort: uint16(b % 8),
+				Proto: packet.IPProtocolTCP,
+			}
+			h := HashFlowKey(k)
+			switch op % 4 {
+			case 0:
+				f, inserted := tab.GetOrInsert(h, k)
+				_, had := oracle[k]
+				if inserted == had {
+					t.Fatalf("op %d: inserted=%v but oracle had=%v for %v", i, inserted, had, k)
+				}
+				if had && oracle[k] != f {
+					t.Fatalf("op %d: record moved for %v", i, k)
+				}
+				oracle[k] = f
+			case 1:
+				if got := tab.Lookup(h, k); got != oracle[k] {
+					t.Fatalf("op %d: Lookup(%v) = %p, oracle %p", i, k, got, oracle[k])
+				}
+			case 2:
+				if of, ok := oracle[k]; ok {
+					tab.Remove(of)
+					delete(oracle, k)
+				}
+			default:
+				n := 0
+				tab.Iterate(func(f *FlowState) {
+					n++
+					if oracle[f.Key] != f {
+						t.Fatalf("op %d: Iterate found unknown record %v", i, f.Key)
+					}
+				})
+				if n != len(oracle) || tab.Len() != len(oracle) {
+					t.Fatalf("op %d: iterate %d, Len %d, oracle %d", i, n, tab.Len(), len(oracle))
+				}
+			}
+		}
+		for k, of := range oracle {
+			if tab.Lookup(HashFlowKey(k), k) != of {
+				t.Fatalf("final sweep lost %v", k)
+			}
+		}
+	})
+}

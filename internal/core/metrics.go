@@ -22,7 +22,7 @@ type collectorMetrics struct {
 	rateUpdates   obs.Counter
 	events        obs.Counter
 	unmapped      obs.Counter
-	outOfOrder    obs.Counter // monotonic, unlike Stats.OutOfOrder which shrinks on flow expiry
+	outOfOrder    obs.Counter // monotonic, matching Stats.OutOfOrder
 	flowTableSize obs.Gauge
 
 	timed bool
@@ -33,6 +33,11 @@ type collectorMetrics struct {
 	stageUtil      *obs.Histogram
 	stageDispatch  *obs.Histogram
 	ingest         *obs.Histogram
+	// batchSamples records samples per IngestBatch call; probeLen
+	// records the flow table's probe length at each insert (a standing
+	// proxy for table health that stays off the per-lookup path).
+	batchSamples *obs.Histogram
+	probeLen     *obs.Histogram
 }
 
 func (m *collectorMetrics) init(timed bool) {
@@ -44,6 +49,8 @@ func (m *collectorMetrics) init(timed bool) {
 		m.stageUtil = obs.NewHistogram()
 		m.stageDispatch = obs.NewHistogram()
 		m.ingest = obs.NewHistogram()
+		m.batchSamples = obs.NewHistogram()
+		m.probeLen = obs.NewHistogram()
 	}
 }
 
@@ -71,6 +78,8 @@ func (c *Collector) register(r *obs.Registry) {
 		r.MustRegister("planck_collector_stage_estimate_ns", m.stageEstimate, labels...)
 		r.MustRegister("planck_collector_stage_utilization_ns", m.stageUtil, labels...)
 		r.MustRegister("planck_collector_stage_dispatch_ns", m.stageDispatch, labels...)
+		r.MustRegister("planck_collector_batch_samples", m.batchSamples, labels...)
+		r.MustRegister("planck_collector_table_probe_len", m.probeLen, labels...)
 	}
 }
 

@@ -95,10 +95,22 @@ func TestShardedDropOnFullOverloadRecovery(t *testing.T) {
 	}
 
 	// Phase 1: overload. The merger sleeps per event, its backlog fills
-	// the bounded hand-off queues, and the dispatcher must shed.
+	// the bounded hand-off queues, and the dispatcher must shed. The
+	// feed is deliberately skewed toward flow 0: a perfectly balanced
+	// round-robin feed can phase-lock batch fills to the lossless sweep
+	// (each shard's pending batch reaches Batch exactly when the
+	// Batch×Shards sweep fires and ships it, blocking instead of
+	// dropping), which would leave the drop path untested for any hash
+	// that happens to split the flows evenly. Concentrating ≥75% of
+	// samples on one flow guarantees its shard fills ahead of the sweep
+	// no matter how flows partition.
 	slow.Store(true)
 	for i := 0; i < overload; i++ {
-		feed(i%nFlows, false)
+		flow := 0
+		if i%4 == 3 {
+			flow = i % nFlows
+		}
+		feed(flow, false)
 	}
 	slow.Store(false)
 	sh.Flush()

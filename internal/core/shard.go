@@ -108,6 +108,7 @@ type sampleBatch struct {
 	n    int
 	time []units.Time
 	seq  []uint64 // global arrival sequence numbers
+	hash []uint64 // dispatch flow hashes, shared with the shard's table probe (0 = none)
 	off  []int32  // frame offsets into buf
 	ln   []int32
 	buf  []byte
@@ -120,6 +121,7 @@ func newSampleBatch(batch int) *sampleBatch {
 	return &sampleBatch{
 		time: make([]units.Time, batch),
 		seq:  make([]uint64, batch),
+		hash: make([]uint64, batch),
 		off:  make([]int32, batch),
 		ln:   make([]int32, batch),
 	}
@@ -332,11 +334,11 @@ func (s *ShardedCollector) SetPortMapper(m PortMapper) {
 	v := &s.mg.view
 	v.mu.Lock()
 	for _, w := range s.workers {
-		for _, f := range w.col.flows {
+		w.col.flows.Iterate(func(f *FlowState) {
 			if f.id > 0 && int(f.id) < len(v.flows) && v.flows[f.id].live {
 				s.mg.moveFlow(f.id, int32(f.outPort))
 			}
-		}
+		})
 	}
 	v.mu.Unlock()
 }
@@ -353,53 +355,21 @@ func (s *ShardedCollector) SubscribeFlowBoundaries(fn func(t units.Time, key pac
 	s.mg.boundary = append(s.mg.boundary, fn)
 }
 
-// flowShard hash-partitions a frame by its transport 5-tuple, peeking at
-// the raw bytes (the full decode happens on the shard). Frames without a
-// recognizable transport flow carry no flow-table state, so any stable
-// assignment works; they go to shard 0. FNV-1a over the 13 key bytes.
-func (s *ShardedCollector) flowShard(frame []byte) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	if len(frame) < packet.EthernetHeaderLen+packet.IPv4MinHeaderLen {
-		return 0
+// flowShard hash-partitions a frame by its transport 5-tuple, peeking
+// at the raw bytes (the full decode happens on the shard). The hash is
+// the table hash — mixFlowHash over the packed tuple words, avalanched
+// by fmix64 so flow populations with correlated low bytes (sequential
+// ports, sequential addresses) spread across shards under the modulo —
+// and it rides the batch to the shard, whose flow table probes with it
+// instead of rehashing. Frames without a recognizable transport flow
+// carry no flow-table state, so any stable assignment works; they go
+// to shard 0 with hash 0 ("not precomputed").
+func (s *ShardedCollector) flowShard(frame []byte) (int, uint64) {
+	h, ok := flowHash(frame)
+	if !ok {
+		return 0, 0
 	}
-	if frame[12] != 0x08 || frame[13] != 0x00 {
-		return 0
-	}
-	ip := frame[packet.EthernetHeaderLen:]
-	if ip[0]>>4 != 4 {
-		return 0
-	}
-	ihl := int(ip[0]&0x0f) * 4
-	if ihl < packet.IPv4MinHeaderLen || len(ip) < ihl+4 {
-		return 0
-	}
-	proto := ip[9]
-	if proto != uint8(packet.IPProtocolTCP) && proto != uint8(packet.IPProtocolUDP) {
-		return 0
-	}
-	h := uint64(offset64)
-	for _, b := range ip[12:20] { // src + dst IPv4
-		h = (h ^ uint64(b)) * prime64
-	}
-	for _, b := range ip[ihl : ihl+4] { // src + dst port
-		h = (h ^ uint64(b)) * prime64
-	}
-	h = (h ^ uint64(proto)) * prime64
-	// Avalanche before reducing: FNV-1a's low bits barely mix (each step
-	// is xor-then-odd-multiply, so mod 2^k the state is nearly a function
-	// of the inputs mod 2^k), and flow populations with correlated low
-	// bytes — sequential ports, sequential addresses — collapse onto one
-	// shard under a plain modulo. The 64-bit finalizer below (Murmur3's
-	// fmix64) spreads every input bit across the word first.
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return int(h % uint64(len(s.workers)))
+	return int(h % uint64(len(s.workers))), h
 }
 
 // Ingest accepts one sampled frame captured at time t, hash-partitions
@@ -412,6 +382,51 @@ func (s *ShardedCollector) Ingest(t units.Time, frame []byte) error {
 	if t < s.now {
 		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, s.now)
 	}
+	s.ingestOne(t, frame)
+	return nil
+}
+
+// IngestBatch accepts a batch of sampled frames, ts[i] stamping
+// frames[i], dispatching each to its shard — the end-to-end batched
+// sample path. It computes exactly what the equivalent Ingest loop
+// computes; when the batch's timestamps are non-decreasing (the normal
+// case) the per-frame regression check collapses to one scan. Frames
+// are copied into batch arenas; the buffers are only borrowed.
+func (s *ShardedCollector) IngestBatch(ts []units.Time, frames [][]byte) error {
+	n := len(ts)
+	if len(frames) < n {
+		n = len(frames)
+	}
+	if n == 0 {
+		return nil
+	}
+	mono := ts[0] >= s.now
+	for i := 1; mono && i < n; i++ {
+		mono = ts[i] >= ts[i-1]
+	}
+	if mono {
+		for i := 0; i < n; i++ {
+			s.ingestOne(ts[i], frames[i])
+		}
+		return nil
+	}
+	var be *BatchError
+	for i := 0; i < n; i++ {
+		if err := s.Ingest(ts[i], frames[i]); err != nil {
+			if be == nil {
+				be = &BatchError{Index: i, Err: err}
+			}
+			be.Failed++
+		}
+	}
+	if be != nil {
+		return be
+	}
+	return nil
+}
+
+// ingestOne dispatches one timestamp-validated sample.
+func (s *ShardedCollector) ingestOne(t units.Time, frame []byte) {
 	s.now = t
 	if s.ring != nil {
 		s.ring.Push(t, frame)
@@ -427,7 +442,7 @@ func (s *ShardedCollector) Ingest(t units.Time, frame []byte) error {
 	if s.seq-s.sweepSeq >= uint64(s.cfg.Batch*len(s.workers)) {
 		s.sweep()
 	}
-	sh := s.flowShard(frame)
+	sh, h := s.flowShard(frame)
 	b := s.pending[sh]
 	if b == nil {
 		b = s.getBatch(sh)
@@ -443,7 +458,7 @@ func (s *ShardedCollector) Ingest(t units.Time, frame []byte) error {
 				s.pending[sh] = b
 			default:
 				s.dropped[sh].Inc()
-				return nil
+				return
 			}
 		} else {
 			s.in[sh] <- b
@@ -455,12 +470,12 @@ func (s *ShardedCollector) Ingest(t units.Time, frame []byte) error {
 	i := b.n
 	b.time[i] = t
 	b.seq[i] = s.seq
+	b.hash[i] = h
 	b.off[i] = int32(len(b.buf))
 	b.ln[i] = int32(len(frame))
 	b.buf = append(b.buf, frame...)
 	b.n++
 	s.seq++
-	return nil
 }
 
 // finishSend records hand-off telemetry for a batch of n samples. It
@@ -551,7 +566,7 @@ func (s *ShardedCollector) shardLoop(id int) {
 		}
 		for i := 0; i < b.n; i++ {
 			rec := w.nextRec()
-			w.process(b.time[i], b.buf[b.off[i]:b.off[i]+b.ln[i]], b.seq[i], rec)
+			w.process(b.time[i], b.buf[b.off[i]:b.off[i]+b.ln[i]], b.seq[i], b.hash[i], rec)
 		}
 		select {
 		case s.freeIn[id] <- b:
@@ -584,8 +599,9 @@ func (w *shardWorker) flushRecs() {
 }
 
 // process runs one sample through the shard's serial Collector and
-// captures its observable effects in rec.
-func (w *shardWorker) process(t units.Time, frame []byte, seq uint64, rec *outRec) {
+// captures its observable effects in rec. h is the dispatcher's flow
+// hash, reused by the collector's table probe (0 = none).
+func (w *shardWorker) process(t units.Time, frame []byte, seq, h uint64, rec *outRec) {
 	rec.seq = seq
 	rec.t = t
 	rec.kind = recSkip
@@ -593,7 +609,7 @@ func (w *shardWorker) process(t units.Time, frame []byte, seq uint64, rec *outRe
 	w.cur = rec
 	c := w.col
 	ruBefore := c.met.rateUpdates.Value()
-	err := c.Ingest(t, frame)
+	err := c.ingestHashed(t, frame, h)
 	w.cur = nil
 	if err != nil {
 		return // decode failure: counted by the shard collector
@@ -606,7 +622,10 @@ func (w *shardWorker) process(t units.Time, frame []byte, seq uint64, rec *outRe
 	if !ok {
 		return
 	}
-	f := c.flows[key]
+	if h == 0 {
+		h = HashFlowKey(key)
+	}
+	f := c.flows.Lookup(h, key)
 	if f == nil {
 		return // e.g. UDP datagram too short to carry the counter
 	}
@@ -676,10 +695,13 @@ func (s *ShardedCollector) FlowRate(k packet.FlowKey) (units.Rate, bool) {
 	return f.rate, true
 }
 
-// Flow returns the full flow record for k, or nil. Quiescent-only.
+// Flow returns the full flow record for k, or nil. Quiescent-only; the
+// record is recycled when the flow expires, so do not retain the
+// pointer across ExpireFlows.
 func (s *ShardedCollector) Flow(k packet.FlowKey) *FlowState {
+	h := HashFlowKey(k)
 	for _, w := range s.workers {
-		if f := w.col.flows[k]; f != nil {
+		if f := w.col.flows.Lookup(h, k); f != nil {
 			return f
 		}
 	}
@@ -717,16 +739,27 @@ func (s *ShardedCollector) FlowsOnPort(p int) []FlowInfo {
 // merger writes these under the view lock, so a snapshot taken after a
 // Flush reflects every accepted sample.
 func (s *ShardedCollector) CooldownSnapshot() map[int]units.Time {
+	return s.CooldownSnapshotInto(nil)
+}
+
+// CooldownSnapshotInto is CooldownSnapshot writing into dst (cleared
+// first), so periodic snapshotters stop allocating a map per call. A
+// nil dst allocates one. Returns dst.
+func (s *ShardedCollector) CooldownSnapshotInto(dst map[int]units.Time) map[int]units.Time {
 	v := &s.mg.view
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	snap := make(map[int]units.Time)
+	if dst == nil {
+		dst = make(map[int]units.Time, len(s.mg.lastEvent))
+	} else {
+		clear(dst)
+	}
 	for p, t := range s.mg.lastEvent {
 		if t > -1<<62 {
-			snap[p] = t
+			dst[p] = t
 		}
 	}
-	return snap
+	return dst
 }
 
 // RestoreCooldowns seeds the merger's per-port event cooldowns from a
@@ -756,20 +789,21 @@ func (s *ShardedCollector) ExpireFlows(now units.Time, idle units.Duration) int 
 	for _, w := range s.workers {
 		c := w.col
 		removed := 0
-		for k, f := range c.flows {
+		c.flows.Iterate(func(f *FlowState) {
 			if now.Sub(f.LastSeen) > idle {
 				if f.outPort >= 0 && f.outPort < len(c.portFlows) {
 					c.portFlows[f.outPort] = removeFlow(c.portFlows[f.outPort], f)
 				}
-				delete(c.flows, k)
-				if f.id > 0 {
-					s.mg.dropFlow(f.id)
+				id := f.id // Remove recycles the record
+				c.flows.Remove(f)
+				if id > 0 {
+					s.mg.dropFlow(id)
 				}
 				removed++
 			}
-		}
+		})
 		if removed > 0 {
-			c.met.flowTableSize.Set(int64(len(c.flows)))
+			c.met.flowTableSize.Set(int64(c.flows.Len()))
 		}
 		n += removed
 	}

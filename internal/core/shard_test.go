@@ -155,6 +155,7 @@ func normalizeEvents(evs []CongestionEvent) {
 // operations the equivalence stream performs.
 type equivCollector interface {
 	Ingest(t units.Time, frame []byte) error
+	IngestBatch(ts []units.Time, frames [][]byte) error
 	Subscribe(fn func(ev CongestionEvent))
 	SubscribeFlowBoundaries(fn func(t units.Time, key packet.FlowKey, kind BoundaryKind))
 	SetPortMapper(m PortMapper)
@@ -304,9 +305,12 @@ func TestFlowShardStableAndInRange(t *testing.T) {
 			SrcPort: uint16(1000 + i%10), DstPort: 2000,
 			Seq: uint32(i * 1460), Flags: packet.TCPAck, PayloadLen: 1460,
 		})
-		sh := sc.flowShard(f)
+		sh, h := sc.flowShard(f)
 		if sh < 0 || sh >= 4 {
 			t.Fatalf("shard %d out of range", sh)
+		}
+		if h == 0 {
+			t.Fatal("transport frame got no dispatch hash")
 		}
 		k := fmt.Sprintf("p%d", 1000+i%10)
 		if prev, ok := seen[k]; ok && prev != sh {
@@ -314,10 +318,14 @@ func TestFlowShardStableAndInRange(t *testing.T) {
 		}
 		seen[k] = sh
 	}
-	// Frames without a transport flow all go to one stable shard.
+	// Frames without a transport flow all go to one stable shard, with
+	// no hash (nothing downstream may probe with it).
 	arp := packet.BuildARP(nil, packet.ARPSpec{SrcMAC: macA, DstMAC: macB, Op: packet.ARPRequest})
-	if sc.flowShard(arp) != 0 || sc.flowShard(arp[:3]) != 0 {
+	if sh, h := sc.flowShard(arp); sh != 0 || h != 0 {
 		t.Fatal("non-flow frames not pinned to shard 0")
+	}
+	if sh, h := sc.flowShard(arp[:3]); sh != 0 || h != 0 {
+		t.Fatal("truncated frames not pinned to shard 0")
 	}
 }
 
@@ -341,7 +349,8 @@ func TestFlowShardDispersesCorrelatedFlows(t *testing.T) {
 			SrcPort: uint16(1000 + i), DstPort: 2000,
 			Flags: packet.TCPAck, PayloadLen: 1460,
 		})
-		counts[sc.flowShard(f)]++
+		sh, _ := sc.flowShard(f)
+		counts[sh]++
 	}
 	busiest, used := 0, 0
 	for _, c := range counts {

@@ -3,6 +3,7 @@ package faults
 import (
 	"math/rand"
 
+	"planck/internal/core"
 	"planck/internal/obs"
 	"planck/internal/units"
 )
@@ -137,6 +138,7 @@ func (in *Injector) roll(k Kind, t units.Time) bool {
 // in front of either pipeline without importing the facade.
 type Ingester interface {
 	Ingest(t units.Time, frame []byte) error
+	IngestBatch(ts []units.Time, frames [][]byte) error
 }
 
 // FaultyIngester interposes an Injector in front of any Ingester —
@@ -165,4 +167,29 @@ func (f *FaultyIngester) Ingest(t units.Time, frame []byte) error {
 		}
 	})
 	return first
+}
+
+// IngestBatch applies the fault schedule frame by frame — injected
+// skew, reordering, and duplication change each frame's delivery, so a
+// faulted batch cannot be forwarded wholesale. Per-frame failures are
+// aggregated into a *core.BatchError, matching the underlying
+// pipelines' batch contract.
+func (f *FaultyIngester) IngestBatch(ts []units.Time, frames [][]byte) error {
+	n := len(ts)
+	if len(frames) < n {
+		n = len(frames)
+	}
+	var be *core.BatchError
+	for i := 0; i < n; i++ {
+		if err := f.Ingest(ts[i], frames[i]); err != nil {
+			if be == nil {
+				be = &core.BatchError{Index: i, Err: err}
+			}
+			be.Failed++
+		}
+	}
+	if be != nil {
+		return be
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package lab
 
 import (
+	"errors"
+
 	"planck/internal/core"
 	"planck/internal/faults"
 	"planck/internal/obs"
@@ -22,6 +24,7 @@ import (
 // satisfy it.
 type ingester interface {
 	Ingest(t units.Time, frame []byte) error
+	IngestBatch(ts []units.Time, frames [][]byte) error
 }
 
 type CollectorNode struct {
@@ -37,6 +40,15 @@ type CollectorNode struct {
 	ticker  *sim.Ticker
 
 	scratch []byte
+
+	// Batch staging for the fault-free delivery path: wire bytes are
+	// copied out of scratch into a reusable arena (WireBytes reuses
+	// scratch across packets) and handed to the collector in one
+	// IngestBatch call per poll tick.
+	bts     []units.Time
+	barena  []byte
+	boffs   []int // frame i is barena[boffs[i]:boffs[i+1]]
+	bframes [][]byte
 
 	// flt, when set, runs every mirror-path frame through a fault
 	// schedule (loss/corruption/duplication/reordering/skew) before the
@@ -229,6 +241,46 @@ func (n *CollectorNode) deliverOne(at units.Time, frame []byte) {
 	n.delivered++
 }
 
+// deliverBatch hands a poll tick's surviving frames to the collector in
+// one IngestBatch call — the fault-free capture path, mirroring how the
+// paper's netmap stack hands the collector a frame batch per poll. All
+// frames of a tick share one delivery timestamp, so the batch is
+// trivially monotone and takes the collector's fast path. Packets are
+// freed by the caller after this returns.
+func (n *CollectorNode) deliverBatch(at units.Time, pkts []*sim.Packet) {
+	n.bts = n.bts[:0]
+	n.barena = n.barena[:0]
+	n.boffs = append(n.boffs[:0], 0)
+	for _, pkt := range pkts {
+		frame := pkt.WireBytes(n.scratch)
+		n.scratch = frame[:cap(frame)]
+		n.barena = append(n.barena, frame...)
+		n.boffs = append(n.boffs, len(n.barena))
+		n.bts = append(n.bts, at)
+	}
+	n.bframes = n.bframes[:0]
+	for i := 0; i+1 < len(n.boffs); i++ {
+		n.bframes = append(n.bframes, n.barena[n.boffs[i]:n.boffs[i+1]])
+	}
+	if n.OnFrame != nil {
+		for _, fr := range n.bframes {
+			n.OnFrame(at, fr)
+		}
+	}
+	if err := n.ing.IngestBatch(n.bts, n.bframes); err != nil {
+		var be *core.BatchError
+		if errors.As(err, &be) {
+			n.IngestErrors += int64(be.Failed)
+		} else {
+			n.IngestErrors += int64(len(n.bframes))
+		}
+	}
+	n.delivered += int64(len(n.bframes))
+	for _, pkt := range pkts {
+		n.accountLatency(at, pkt)
+	}
+}
+
 // accountLatency records the measurement-latency histograms for the
 // node's own (non-duplicate, non-replayed) sample.
 func (n *CollectorNode) accountLatency(at units.Time, pkt *sim.Packet) {
@@ -306,9 +358,19 @@ func (n *CollectorNode) deliver(now units.Time) {
 	}
 	before := n.delivered
 	at := now.Add(n.overhead)
-	for _, pkt := range n.pending {
-		n.ingestOne(at, pkt)
-		n.eng.FreePacket(pkt)
+	if n.flt == nil {
+		// Fault-free path: one IngestBatch per poll tick.
+		n.deliverBatch(at, n.pending)
+		for _, pkt := range n.pending {
+			n.eng.FreePacket(pkt)
+		}
+	} else {
+		// The fault layer rewrites each frame's delivery (skew, drops,
+		// duplicates, holds), so faulted streams stay per-frame.
+		for _, pkt := range n.pending {
+			n.ingestOne(at, pkt)
+			n.eng.FreePacket(pkt)
+		}
 	}
 	n.pending = n.pending[:0]
 	// Drain the concurrent pipeline at every poll boundary: the simulator
