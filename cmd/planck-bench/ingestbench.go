@@ -26,7 +26,7 @@ type ingestBenchReport struct {
 // runIngestBench measures the ingest hot path and writes the rows as
 // JSON to path ("-" for stdout, "" to skip writing). gateAgainst, when
 // non-empty, is a committed baseline report; the run fails if the fresh
-// ingest_serial ns/op regressed more than 15% against it.
+// ingest_serial ns/op regressed more than 5% against it.
 func runIngestBench(path, gateAgainst string) error {
 	rep := ingestBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	add := func(name string, r testing.BenchmarkResult) {
@@ -64,15 +64,24 @@ func runIngestBench(path, gateAgainst string) error {
 	}
 
 	if gateAgainst != "" {
-		return gateIngestSerial(rep, gateAgainst)
+		return gateIngestSerial(rep, gateAgainst, func() float64 {
+			r := testing.Benchmark(func(b *testing.B) { benchIngestMix(b, 0) })
+			return float64(r.T.Nanoseconds()) / float64(r.N)
+		})
 	}
 	return nil
 }
 
 // gateIngestSerial compares the fresh ingest_serial measurement against
-// the committed baseline and fails on a >15% ns/op regression — the
-// hot-path perf contract enforced by `make bench-gate`.
-func gateIngestSerial(rep ingestBenchReport, baselinePath string) error {
+// the committed baseline and fails on a >5% ns/op regression — the
+// hot-path perf contract enforced by `make bench-gate`. The baseline is
+// regenerated (make bench-ingest) whenever a PR deliberately changes the
+// hot path. Shared-machine scheduling noise can exceed the tolerance on
+// a single sample, so an over-limit measurement is retried up to twice
+// (via remeasure) and the gate judges the best observation: the minimum
+// is the least-noise estimate of the true per-sample cost, and a real
+// regression stays over the limit on every retry.
+func gateIngestSerial(rep ingestBenchReport, baselinePath string, remeasure func() float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("bench gate: %w", err)
@@ -94,14 +103,22 @@ func gateIngestSerial(rep ingestBenchReport, baselinePath string) error {
 		return fmt.Errorf("bench gate: %s has no ingest_serial row", baselinePath)
 	}
 	newRow, _ := find(rep.Rows)
-	const tolerance = 1.15
+	const tolerance = 1.05
 	limit := baseRow.NsPerOp * tolerance
-	if newRow.NsPerOp > limit {
-		return fmt.Errorf("bench gate: ingest_serial %.1f ns/op exceeds baseline %.1f ns/op +15%% (%.1f)",
-			newRow.NsPerOp, baseRow.NsPerOp, limit)
+	best := newRow.NsPerOp
+	for attempt := 1; best > limit && attempt <= 2; attempt++ {
+		fmt.Fprintf(os.Stderr, "bench gate: ingest_serial %.1f ns/op over limit %.1f; re-measuring (retry %d/2)\n",
+			best, limit, attempt)
+		if ns := remeasure(); ns < best {
+			best = ns
+		}
 	}
-	fmt.Fprintf(os.Stderr, "bench gate: ingest_serial %.1f ns/op within baseline %.1f ns/op +15%% (%.1f)\n",
-		newRow.NsPerOp, baseRow.NsPerOp, limit)
+	if best > limit {
+		return fmt.Errorf("bench gate: ingest_serial %.1f ns/op exceeds baseline %.1f ns/op +5%% (%.1f)",
+			best, baseRow.NsPerOp, limit)
+	}
+	fmt.Fprintf(os.Stderr, "bench gate: ingest_serial %.1f ns/op within baseline %.1f ns/op +5%% (%.1f)\n",
+		best, baseRow.NsPerOp, limit)
 	return nil
 }
 

@@ -169,7 +169,8 @@ func main() {
 	obsJSON := flag.String("obs-json", "", "run the observability microbenchmarks, write JSON here (\"-\" = stdout), and exit")
 	shardJSON := flag.String("shard-json", "", "run the sharded-vs-serial ingest benchmarks, write JSON here (\"-\" = stdout), and exit")
 	ingestJSON := flag.String("ingest-json", "", "run the ingest hot-path benchmarks, write JSON here (\"-\" = stdout), and exit")
-	gateAgainst := flag.String("gate-against", "", "with -ingest-json: fail if ingest_serial regressed >15% vs this baseline report")
+	routeJSON := flag.String("route-json", "", "run the routing-plane benchmarks (commit/view/ingest-with-view), write JSON here (\"-\" = stdout), and exit")
+	gateAgainst := flag.String("gate-against", "", "with -ingest-json: fail if ingest_serial regressed >5% vs this baseline report")
 	flag.Parse()
 
 	if *obsJSON != "" {
@@ -181,6 +182,13 @@ func main() {
 	}
 	if *shardJSON != "" {
 		if err := runShardBench(*shardJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *routeJSON != "" {
+		if err := runRouteBench(*routeJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -183,6 +183,9 @@ func main() {
 	}
 	fmt.Printf("replayed %d frames: %d flows, %d rate updates, %d decode errors, %d non-TCP\n",
 		frames, st.Flows, st.RateUpdates, st.DecodeErrors, st.NonTCP)
+	if st.UnmappedOutput > 0 {
+		fmt.Printf("route inference: %d samples carried labels no routing view could map\n", st.UnmappedOutput)
+	}
 	if faulty != nil {
 		fm := faulty.Injector().Metrics()
 		fmt.Printf("faults injected: %d lost, %d corrupted, %d duplicated, %d reordered, %d skewed\n",

@@ -114,6 +114,10 @@ func main() {
 	if res.HostCompletion.N() > 0 {
 		fmt.Printf("host completion p50: %.2fs\n", res.HostCompletion.Median())
 	}
+	if c := l.Ctrl; c != nil {
+		fmt.Printf("routing plane: epoch %d committed, %d ARP reroutes, %d OpenFlow reroutes\n",
+			c.RoutingStore().Epoch(), c.ARPReroutes, c.OFReroutes)
+	}
 }
 
 func parseSize(s string) (int64, error) {

@@ -5,6 +5,14 @@
 // congestion events for applications, and actuates reroutes through the
 // two mechanisms of §6.2 — spoofed unicast ARP and OpenFlow rewrite
 // rules — with control-channel latencies calibrated to Fig. 16.
+//
+// The controller does not mutate switches or mappers in place. Every
+// route change is a Commit transaction against the versioned routing
+// store (internal/routing): commit the next epoch snapshot, diff it
+// against the previous one, and schedule the diff's actuation onto the
+// data plane through a routing.Actuator after the modelled control
+// latency. Collectors and TE read the same store, so every consumer
+// agrees on which routes were live at any instant.
 package controller
 
 import (
@@ -13,6 +21,7 @@ import (
 
 	"planck/internal/core"
 	"planck/internal/packet"
+	"planck/internal/routing"
 	"planck/internal/sim"
 	"planck/internal/switchsim"
 	"planck/internal/tcpsim"
@@ -48,22 +57,24 @@ func DefaultConfig() Config {
 	}
 }
 
-// Controller wires the network together.
+// Controller wires the network together: it owns the routing store's
+// write side and an Actuator that realizes committed snapshots on the
+// data plane.
 type Controller struct {
-	eng      *sim.Engine
-	net      *topo.Network
-	cfg      Config
-	rng      *rand.Rand
-	switches []*switchsim.Switch
-	hosts    []*tcpsim.Host
+	eng *sim.Engine
+	cfg Config
+	rng *rand.Rand
+
+	// store is the versioned routing-state plane. The controller is
+	// its single writer; collectors (through Views) and TE read it
+	// lock-free.
+	store *routing.Store
+	// act realizes snapshots and snapshot diffs on the data plane.
+	act routing.Actuator
 
 	collectors []*core.Collector // indexed by switch, nil entries allowed
 
 	subs []func(ev core.CongestionEvent)
-
-	// initialTree records the PAST tree each destination's base route
-	// uses this run (PAST assigns a random spanning tree per address).
-	initialTree []int
 
 	// OnReroute observes every actuation at decision time (before the
 	// control-channel delay), letting experiments measure response
@@ -78,74 +89,62 @@ type Controller struct {
 	met *ctrlMetrics
 }
 
-// New creates a controller over an assembled data plane. The switches and
-// hosts slices must be indexed consistently with net.
+// New creates a controller over an assembled simulated data plane. The
+// switches and hosts slices must be indexed consistently with net.
 func New(eng *sim.Engine, net *topo.Network, switches []*switchsim.Switch, hosts []*tcpsim.Host, cfg Config, rng *rand.Rand) *Controller {
+	return NewWithActuator(eng, net, NewSimActuator(eng, net, switches, hosts), cfg, rng)
+}
+
+// NewWithActuator creates a controller that actuates through act —
+// the seam that lets a non-simulated data plane (or a test double)
+// receive snapshot installs and diff applications.
+func NewWithActuator(eng *sim.Engine, net *topo.Network, act routing.Actuator, cfg Config, rng *rand.Rand) *Controller {
 	if rng == nil {
 		panic("controller: need a deterministic rng")
 	}
-	c := &Controller{
+	return &Controller{
 		eng:        eng,
-		net:        net,
 		cfg:        cfg,
 		rng:        rng,
-		switches:   switches,
-		hosts:      hosts,
-		collectors: make([]*core.Collector, len(switches)),
+		store:      routing.NewStore(net),
+		act:        act,
+		collectors: make([]*core.Collector, net.NumSwitches()),
 		met:        newCtrlMetrics(),
 	}
-	return c
 }
 
 // Network returns the topology.
-func (c *Controller) Network() *topo.Network { return c.net }
+func (c *Controller) Network() *topo.Network { return c.store.Net() }
 
 // Engine returns the simulation engine.
 func (c *Controller) Engine() *sim.Engine { return c.eng }
 
-// InstallRoutes programs every switch with the MAC entries of all routing
-// trees, the egress shadow-MAC restore rules, edge-port marking, and —
-// when mirror is true — oversubscribed mirroring of every data port to
-// the switch's monitor port. initialTrees assigns each destination's
-// base route (PAST picks one tree per address); nil means tree 0
-// everywhere.
+// RoutingStore exposes the versioned routing-state plane so TE and
+// other read-side consumers share the controller's epochs.
+func (c *Controller) RoutingStore() *routing.Store { return c.store }
+
+// InstallRoutes commits the initial routing epoch — each destination's
+// base tree (PAST picks one tree per address; nil means tree 0
+// everywhere) plus the mirror setting — and installs the snapshot on
+// the data plane: MAC entries of all routing trees, egress shadow-MAC
+// restore rules, edge-port marking, mirror sessions, host ARP caches.
 func (c *Controller) InstallRoutes(initialTrees []int, mirror bool) {
+	net := c.store.Net()
 	if initialTrees == nil {
-		initialTrees = make([]int, c.net.NumHosts())
+		initialTrees = make([]int, net.NumHosts())
 	}
-	if len(initialTrees) != c.net.NumHosts() {
-		panic(fmt.Sprintf("controller: %d initial trees for %d hosts", len(initialTrees), c.net.NumHosts()))
+	if len(initialTrees) != net.NumHosts() {
+		panic(fmt.Sprintf("controller: %d initial trees for %d hosts", len(initialTrees), net.NumHosts()))
 	}
-	c.initialTree = initialTrees
-	for s, sw := range c.switches {
-		for mac, port := range c.net.MACEntries(s) {
-			sw.InstallMAC(mac, port)
-		}
-		for shadow, real := range c.net.EgressRewrites(s) {
-			sw.InstallRewrite(shadow, real)
-		}
-		for p, ep := range c.net.Ports[s] {
-			if ep.Kind == topo.ToHost {
-				sw.SetEdgePort(p, true)
-			}
-		}
-		if mirror && c.net.MonitorPort[s] >= 0 {
-			sw.EnableMirror(c.net.MonitorPort[s], nil)
-		}
-	}
-	// Point every host's ARP cache at each destination's assigned tree.
-	for i, h := range c.hosts {
-		for d := 0; d < c.net.NumHosts(); d++ {
-			if d == i {
-				continue
-			}
-			h.SetNeighbor(topo.HostIP(d), topo.ShadowMAC(d, initialTrees[d]))
-		}
-	}
+	snap := c.store.Commit(c.eng.Now(), func(tx *routing.Tx) {
+		tx.SetBaseTrees(initialTrees)
+		tx.SetMirror(mirror)
+	})
+	c.act.InstallSnapshot(snap)
 }
 
-// InitialTree returns the PAST tree assigned to destination d this run.
-func (c *Controller) InitialTree(d int) int { return c.initialTree[d] }
+// InitialTree returns the base tree assigned to destination d this run.
+func (c *Controller) InitialTree(d int) int { return c.store.Load().BaseTree(d) }
 
 // AttachCollector binds a collector to switch s: it receives the routing
 // oracle and its congestion events are forwarded to subscribers.
@@ -155,10 +154,12 @@ func (c *Controller) AttachCollector(s int, col *core.Collector) {
 	col.Subscribe(c.DeliverEvent)
 }
 
-// Mapper returns the routing oracle for switch s — the state a
-// supervisor re-shares with every replacement collector it builds
-// (§3.2.1's controller→collector routing sync).
-func (c *Controller) Mapper(s int) core.PortMapper { return NewSwitchMapper(c.net, s) }
+// Mapper returns the routing oracle for switch s — an epoch-aware view
+// of the shared store, the state a supervisor re-shares with every
+// replacement collector it builds (§3.2.1's controller→collector
+// routing sync). A fresh view is always pinned to the current epoch,
+// so a restarted collector resynchronizes by construction.
+func (c *Controller) Mapper(s int) core.PortMapper { return routing.NewView(c.store, s) }
 
 // DeliverEvent accepts one congestion event into the controller: it is
 // counted and fanned out to subscribers. Direct-attached collectors
@@ -181,11 +182,23 @@ func (c *Controller) Subscribe(fn func(ev core.CongestionEvent)) {
 	c.subs = append(c.subs, fn)
 }
 
-// Switch returns switch s.
-func (c *Controller) Switch(s int) *switchsim.Switch { return c.switches[s] }
+// Switch returns switch s when the controller drives the simulated
+// data plane, nil behind a custom actuator.
+func (c *Controller) Switch(s int) *switchsim.Switch {
+	if a, ok := c.act.(*SimActuator); ok {
+		return a.Switch(s)
+	}
+	return nil
+}
 
-// Host returns host h.
-func (c *Controller) Host(h int) *tcpsim.Host { return c.hosts[h] }
+// Host returns host h when the controller drives the simulated data
+// plane, nil behind a custom actuator.
+func (c *Controller) Host(h int) *tcpsim.Host {
+	if a, ok := c.act.(*SimActuator); ok {
+		return a.Host(h)
+	}
+	return nil
+}
 
 func (c *Controller) delay(lo, hi units.Duration) units.Duration {
 	if hi <= lo {
@@ -195,103 +208,53 @@ func (c *Controller) delay(lo, hi units.Duration) units.Duration {
 }
 
 // RerouteARP repoints srcHost's ARP entry for dstHost at the shadow MAC
-// of tree, by sending a spoofed unicast ARP request through the source's
-// edge switch (§6.2). The ARP packet itself traverses the (possibly
-// congested) data network.
+// of tree, moving all srcHost→dstHost traffic (§6.2). The new pair
+// override is committed immediately; the spoofed unicast ARP actuates
+// after the modelled control-channel latency.
 func (c *Controller) RerouteARP(now units.Time, srcHost, dstHost, tree int) {
 	c.ARPReroutes++
-	if c.OnReroute != nil {
-		c.OnReroute(now, packet.FlowKey{}, srcHost, dstHost, tree, true)
-	}
-	d := c.delay(c.cfg.ArpDelayMin, c.cfg.ArpDelayMax)
-	c.met.observe(true, d)
-	at := now.Add(d)
-	c.eng.Schedule(at, sim.Callback(func(fire units.Time) {
-		attach := c.net.Hosts[srcHost]
-		sw := c.switches[attach.Switch]
-		pkt := c.eng.NewPacket()
-		pkt.Kind = sim.KindARP
-		pkt.SrcMAC = packet.MAC{0x02, 0xff, 0, 0, 0, 0xfe} // controller's MAC
-		pkt.DstMAC = c.hosts[srcHost].MAC()
-		pkt.WireLen = packet.EthernetHeaderLen + packet.ARPBodyLen
-		pkt.ARP = packet.ARP{
-			Op:        packet.ARPRequest,
-			SenderMAC: topo.ShadowMAC(dstHost, tree),
-			SenderIP:  topo.HostIP(dstHost),
-			TargetMAC: c.hosts[srcHost].MAC(),
-			TargetIP:  topo.HostIP(srcHost),
-		}
-		pkt.SentAt = fire
-		sw.Inject(fire, attach.Port, pkt)
-	}), nil)
+	c.reroute(now, packet.FlowKey{}, srcHost, dstHost, tree, true)
 }
 
-// RerouteOF installs a destination-MAC rewrite rule for the flow at the
-// source's ingress switch after the modelled rule-installation latency.
+// RerouteOF repoints one flow at the shadow MAC of tree via a
+// dst-MAC rewrite rule at the source's ingress switch, installed after
+// the modelled rule-installation latency.
 func (c *Controller) RerouteOF(now units.Time, flow packet.FlowKey, srcHost, dstHost, tree int) {
 	c.OFReroutes++
+	c.reroute(now, flow, srcHost, dstHost, tree, false)
+}
+
+// reroute is the single actuation path for both reroute mechanisms:
+// commit the override into the next epoch (activation stamped after
+// the modelled control latency, so collectors attribute in-flight
+// samples to the old epoch), then schedule exactly the snapshot diff
+// for data-plane actuation. A reroute onto the tree the pair/flow
+// already rides yields an empty diff and touches nothing.
+func (c *Controller) reroute(now units.Time, flow packet.FlowKey, srcHost, dstHost, tree int, viaARP bool) {
 	if c.OnReroute != nil {
-		c.OnReroute(now, flow, srcHost, dstHost, tree, false)
+		c.OnReroute(now, flow, srcHost, dstHost, tree, viaARP)
 	}
-	d := c.delay(c.cfg.OFDelayMin, c.cfg.OFDelayMax)
-	c.met.observe(false, d)
+	var d units.Duration
+	if viaARP {
+		d = c.delay(c.cfg.ArpDelayMin, c.cfg.ArpDelayMax)
+	} else {
+		d = c.delay(c.cfg.OFDelayMin, c.cfg.OFDelayMax)
+	}
+	c.met.observe(viaARP, d)
 	at := now.Add(d)
-	c.eng.Schedule(at, sim.Callback(func(fire units.Time) {
-		attach := c.net.Hosts[srcHost]
-		sw := c.switches[attach.Switch]
-		sw.InstallFlowRule(switchsim.FlowRule{
-			Match:      flow,
-			RewriteDst: true,
-			NewDst:     topo.ShadowMAC(dstHost, tree),
-		})
-	}), nil)
-}
 
-// SwitchMapper is the routing oracle a collector uses to infer ports from
-// sampled packets (§3.2.1): the controller shares each switch's MAC table
-// and the topology.
-type SwitchMapper struct {
-	net *topo.Network
-	sw  int
-	out map[uint64]int32
-}
-
-// NewSwitchMapper builds the oracle for switch s.
-func NewSwitchMapper(net *topo.Network, s int) *SwitchMapper {
-	m := &SwitchMapper{net: net, sw: s, out: make(map[uint64]int32)}
-	for mac, port := range net.MACEntries(s) {
-		m.out[mac.U64()] = int32(port)
-	}
-	return m
-}
-
-// OutputPort implements core.PortMapper.
-func (m *SwitchMapper) OutputPort(dst packet.MAC) (int, bool) {
-	p, ok := m.out[dst.U64()]
-	return int(p), ok
-}
-
-// InputPort implements core.PortMapper: walk the destination tree path
-// from the source host and report the port the packet entered this
-// switch on.
-func (m *SwitchMapper) InputPort(src, dst packet.MAC) (int, bool) {
-	srcHost, _, ok := topo.TreeOfMAC(src)
-	if !ok || srcHost < 0 || srcHost >= m.net.NumHosts() {
-		return 0, false
-	}
-	dstHost, tree, ok := topo.TreeOfMAC(dst)
-	if !ok || tree >= m.net.NumTrees || dstHost < 0 || dstHost >= m.net.NumHosts() || srcHost == dstHost {
-		return 0, false
-	}
-	attach := m.net.Hosts[srcHost]
-	if attach.Switch == m.sw {
-		return attach.Port, true
-	}
-	for _, l := range m.net.PathFor(srcHost, dstHost, tree) {
-		ep := m.net.Ports[l.Switch][l.Port]
-		if ep.Kind == topo.ToSwitch && ep.Switch == m.sw {
-			return ep.Port, true
+	prev := c.store.Load()
+	snap := c.store.Commit(at, func(tx *routing.Tx) {
+		if viaARP {
+			tx.SetPairTree(srcHost, dstHost, tree)
+		} else {
+			tx.SetFlowTree(flow, srcHost, dstHost, tree)
 		}
+	})
+	for _, ch := range snap.DiffFrom(prev) {
+		ch := ch
+		c.eng.Schedule(at, sim.Callback(func(fire units.Time) {
+			c.act.Apply(fire, ch)
+		}), nil)
 	}
-	return 0, false
 }

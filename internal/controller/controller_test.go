@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"planck/internal/core"
 	"planck/internal/packet"
 	"planck/internal/sim"
 	"planck/internal/switchsim"
@@ -132,34 +133,60 @@ func TestRerouteOFInstallsRule(t *testing.T) {
 	}
 }
 
-func TestSwitchMapperOutputAndInput(t *testing.T) {
-	_, net, _ := rig(t, 4)
-	// Output port at the ingress edge of host 0 for dst 8 tree 2 must be
-	// the uplink toward agg 1 (trees 2,3 ride agg index 1).
+func TestMapperIsEpochAwareView(t *testing.T) {
+	_, net, ctrl := rig(t, 4)
+	ctrl.InstallRoutes(nil, false)
 	s := net.Hosts[0].Switch
-	m := NewSwitchMapper(net, s)
+	m := ctrl.Mapper(s)
+	v, ok := m.(core.RouteResolver)
+	if !ok {
+		t.Fatalf("Mapper returned %T, want a core.RouteResolver", m)
+	}
+	if e := v.Refresh(); e != ctrl.RoutingStore().Epoch() {
+		t.Fatalf("view epoch %d, store epoch %d", e, ctrl.RoutingStore().Epoch())
+	}
+	// The static-label half matches the switch MAC table.
 	port, ok := m.OutputPort(topo.ShadowMAC(8, 2))
 	if !ok || port != 3 { // edge ports: 0,1 hosts; 2 -> agg0; 3 -> agg1
 		t.Fatalf("output port %d ok=%v", port, ok)
 	}
-	// Input port for a flow from host 0 at its own edge is the host port.
-	in, ok := m.InputPort(topo.ShadowMAC(0, 0), topo.ShadowMAC(8, 2))
-	if !ok || in != net.Hosts[0].Port {
-		t.Fatalf("input port %d ok=%v", in, ok)
+}
+
+// TestRerouteCommitsEpochs pins the transactional shape of the
+// consolidated reroute path: every reroute commits exactly one epoch,
+// and a no-op reroute (same tree the traffic already rides) commits an
+// epoch whose empty diff schedules no data-plane actuation.
+func TestRerouteCommitsEpochs(t *testing.T) {
+	eng, _, ctrl := rig(t, 5)
+	ctrl.InstallRoutes(nil, false)
+	st := ctrl.RoutingStore()
+	base := st.Epoch()
+
+	var arpSeen int
+	ctrl.Host(3).OnARPUpdate = func(now units.Time, ip packet.IPv4, mac packet.MAC) { arpSeen++ }
+
+	ctrl.RerouteARP(0, 3, 9, 2)
+	if st.Epoch() != base+1 {
+		t.Fatalf("epoch %d after reroute, want %d", st.Epoch(), base+1)
 	}
-	// At the core switch of tree 2, the input port is the agg uplink of
-	// pod 0.
-	core := 16 + 2
-	mc := NewSwitchMapper(net, core)
-	in, ok = mc.InputPort(topo.ShadowMAC(0, 0), topo.ShadowMAC(8, 2))
-	if !ok || in != 0 { // core port p connects pod p
-		t.Fatalf("core input port %d ok=%v", in, ok)
+	if got := st.Load().PairTree(3, 9); got != 2 {
+		t.Fatalf("pair tree %d, want 2", got)
 	}
-	// Foreign MACs are rejected.
-	if _, ok := m.OutputPort(packet.MAC{0xde, 0xad, 0, 0, 0, 1}); ok {
-		t.Fatal("foreign MAC mapped")
+	eng.RunUntil(units.Time(20 * units.Millisecond))
+	if arpSeen != 1 {
+		t.Fatalf("arp actuations %d, want 1", arpSeen)
 	}
-	if _, ok := m.InputPort(packet.MAC{0xde, 0xad, 0, 0, 0, 1}, topo.ShadowMAC(8, 2)); ok {
-		t.Fatal("foreign src mapped")
+
+	// Same pair, same tree: one more epoch, empty diff, no second ARP.
+	ctrl.RerouteARP(eng.Now(), 3, 9, 2)
+	if st.Epoch() != base+2 {
+		t.Fatalf("epoch %d after no-op reroute, want %d", st.Epoch(), base+2)
+	}
+	eng.RunUntil(eng.Now().Add(20 * units.Millisecond))
+	if arpSeen != 1 {
+		t.Fatalf("no-op reroute actuated: arp actuations %d, want 1", arpSeen)
+	}
+	if ctrl.ARPReroutes != 2 {
+		t.Fatalf("ARPReroutes %d, want 2", ctrl.ARPReroutes)
 	}
 }

@@ -144,6 +144,13 @@ type Collector struct {
 	cfg    Config
 	mapper PortMapper
 
+	// resolver is the epoch-aware face of mapper, set when the mapper
+	// is a RouteResolver (routing.View). routeEpoch is the epoch the
+	// collector is synced to; flows stamped with a different epoch
+	// re-resolve on their next sample.
+	resolver   RouteResolver
+	routeEpoch uint64
+
 	dec   packet.Decoded
 	flows FlowTable
 
@@ -195,7 +202,28 @@ func New(cfg Config) *Collector {
 // further sample arrives before the next utilization query.
 func (c *Collector) SetPortMapper(m PortMapper) {
 	c.mapper = m
-	c.flows.Iterate(func(f *FlowState) { c.remapFlow(f) })
+	c.resolver, _ = m.(RouteResolver)
+	if c.resolver != nil {
+		c.routeEpoch = c.resolver.Refresh()
+	}
+	c.flows.Iterate(func(f *FlowState) { c.remapFlowAt(f.LastSeen, f) })
+}
+
+// syncRoutes pins the current routing epoch (one atomic load) and, on
+// an epoch change, re-resolves every live flow as of its last sample
+// time. Resolving at LastSeen — never at c.now — is what keeps sharded
+// ingest equivalent to serial: LastSeen is a per-flow property of the
+// stream, while "now" is a property of whichever shard saw the flow
+// last. Called once per Ingest/IngestBatch, never per sample.
+func (c *Collector) syncRoutes() {
+	r := c.resolver
+	if r == nil {
+		return
+	}
+	if e := r.Refresh(); e != c.routeEpoch {
+		c.routeEpoch = e
+		c.flows.Iterate(func(f *FlowState) { c.remapFlowAt(f.LastSeen, f) })
+	}
 }
 
 // Subscribe registers fn for congestion events.
@@ -258,6 +286,7 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 	if t < c.now {
 		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, c.now)
 	}
+	c.syncRoutes()
 	c.met.samples.IncRelaxed()
 	return c.ingest(t, frame, 0)
 }
@@ -269,6 +298,7 @@ func (c *Collector) ingestHashed(t units.Time, frame []byte, h uint64) error {
 	if t < c.now {
 		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, c.now)
 	}
+	c.syncRoutes()
 	c.met.samples.IncRelaxed()
 	return c.ingest(t, frame, h)
 }
@@ -287,6 +317,7 @@ func (c *Collector) IngestBatch(ts []units.Time, frames [][]byte) error {
 	if n == 0 {
 		return nil
 	}
+	c.syncRoutes()
 	if h := c.met.batchSamples; h != nil {
 		h.Observe(int64(n))
 	}
@@ -390,6 +421,7 @@ func (c *Collector) ingest(t units.Time, frame []byte, h uint64) error {
 	if inserted {
 		f.FirstSeen = t
 		f.outPort = -1
+		f.routeEpoch = 0
 		f.Est.MinGap = c.cfg.MinGap
 		f.Est.MaxBurst = c.cfg.MaxBurst
 		if c.cfg.TrackRetransmits {
@@ -401,9 +433,9 @@ func (c *Collector) ingest(t units.Time, frame []byte, h uint64) error {
 	f.SampledPackets++
 	f.SampledBytes += int64(c.dec.WireLen)
 
-	if f.DstMAC != c.dec.Eth.Dst || f.outPort < 0 {
+	if f.DstMAC != c.dec.Eth.Dst || f.outPort < 0 || f.routeEpoch != c.routeEpoch {
 		f.DstMAC = c.dec.Eth.Dst
-		c.remapFlow(f)
+		c.remapFlowAt(t, f)
 	}
 	if timed {
 		now := obs.Nanos()
@@ -470,6 +502,7 @@ func (c *Collector) ingestUDP(t units.Time, frame []byte, h uint64) {
 	if inserted {
 		f.FirstSeen = t
 		f.outPort = -1
+		f.routeEpoch = 0
 		f.Pkt = NewPacketSeqEstimator()
 		f.Pkt.Est.MinGap = c.cfg.MinGap
 		f.Pkt.Est.MaxBurst = c.cfg.MaxBurst
@@ -481,9 +514,9 @@ func (c *Collector) ingestUDP(t units.Time, frame []byte, h uint64) {
 	f.LastSeen = t
 	f.SampledPackets++
 	f.SampledBytes += int64(c.dec.WireLen)
-	if f.DstMAC != c.dec.Eth.Dst || f.outPort < 0 {
+	if f.DstMAC != c.dec.Eth.Dst || f.outPort < 0 || f.routeEpoch != c.routeEpoch {
 		f.DstMAC = c.dec.Eth.Dst
-		c.remapFlow(f)
+		c.remapFlowAt(t, f)
 	}
 	if f.Pkt.Observe(t, seq, c.dec.WireLen) {
 		c.met.rateUpdates.IncRelaxed()
@@ -491,10 +524,25 @@ func (c *Collector) ingestUDP(t units.Time, frame []byte, h uint64) {
 	}
 }
 
-// remapFlow re-resolves the flow's egress port after a label change.
-func (c *Collector) remapFlow(f *FlowState) {
+// remapFlowAt re-resolves the flow's egress port after a label change,
+// an unknown port, or a routing-epoch change, attributing the flow to
+// the routing state live at time t. A sample timestamped before the
+// current epoch's activation resolves through the resolver's history to
+// the older epoch and is stamped with it, so a straddling flow keeps
+// charging the pre-reroute link until its samples cross the activation
+// time — regardless of where batch boundaries fall.
+func (c *Collector) remapFlowAt(t units.Time, f *FlowState) {
 	newPort := -1
-	if c.mapper != nil {
+	if r := c.resolver; r != nil {
+		p, epoch, ok := r.ResolveOutput(t, f.Key, f.DstMAC)
+		f.routeEpoch = epoch
+		if ok {
+			newPort = p
+		} else {
+			c.met.unmapped.IncRelaxed()
+		}
+	} else if c.mapper != nil {
+		f.routeEpoch = c.routeEpoch
 		if p, ok := c.mapper.OutputPort(f.DstMAC); ok {
 			newPort = p
 		} else {

@@ -138,6 +138,12 @@ type FlowState struct {
 
 	outPort int // cached output-port mapping, -1 unknown
 
+	// routeEpoch is the routing epoch outPort was resolved under, as
+	// stamped by remapFlowAt from the resolver's answer. A mismatch
+	// with the collector's synced epoch re-resolves on the next
+	// sample; 0 throughout when no RouteResolver is installed.
+	routeEpoch uint64
+
 	// id is a process-wide dense identifier assigned by the sharded
 	// pipeline on first sight (0 = unassigned); the merger's flow view
 	// is indexed by it. Unused in serial operation.

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// Ingester is the sample-ingest seam shared by the serial Collector,
+// the ShardedCollector, the fault injector, and the UDP/pcap transports
+// in the facade. Anything that can absorb timestamped sFlow frames —
+// one at a time or as a poll batch — satisfies it.
+type Ingester interface {
+	// Ingest absorbs one captured frame observed at time t.
+	Ingest(t units.Time, frame []byte) error
+	// IngestBatch absorbs one poll's worth of frames. ts and frames
+	// are parallel slices; implementations may exploit monotone
+	// timestamps for a fast path. Per-frame failures are aggregated
+	// (see BatchError) rather than aborting the batch.
+	IngestBatch(ts []units.Time, frames [][]byte) error
+}
+
+// RouteResolver is the epoch-aware extension of PortMapper that the
+// versioned routing plane provides (routing.View implements it). A
+// collector that is handed a RouteResolver attributes each sample to
+// the routing epoch that was live at the sample's timestamp instead of
+// whatever state is current at processing time, so batching and
+// sharding cannot change per-link attribution.
+type RouteResolver interface {
+	PortMapper
+
+	// Refresh re-pins the resolver to the current published routing
+	// state and returns its epoch. One atomic load; called once per
+	// ingest batch, never per sample.
+	Refresh() uint64
+
+	// ResolveOutput resolves the egress port for a sample of flow key
+	// labelled dst, as of the routing epoch live at time t within the
+	// pinned history. It returns the epoch used so the caller can
+	// stamp the flow and skip re-resolution until the epoch moves.
+	// Lock-free and allocation-free: safe on the ingest hot path.
+	ResolveOutput(t units.Time, key packet.FlowKey, dst packet.MAC) (port int, epoch uint64, ok bool)
+
+	// Fork returns an independent resolver over the same underlying
+	// store for use by another goroutine (each shard worker pins its
+	// own view; pinning mutates the view, so views are not shared).
+	Fork() RouteResolver
+}
+
+var (
+	_ Ingester = (*Collector)(nil)
+	_ Ingester = (*ShardedCollector)(nil)
+)

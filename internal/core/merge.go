@@ -254,7 +254,7 @@ func (m *merger) checkCongestion(t units.Time, p int) {
 }
 
 // moveFlow changes a flow's port-list membership (swap-remove from the
-// old list, append to the new), matching remapFlow's bookkeeping.
+// old list, append to the new), matching remapFlowAt's bookkeeping.
 // Callers hold the view lock.
 func (m *merger) moveFlow(id, newPort int32) {
 	v := &m.view

@@ -7,7 +7,7 @@ import (
 	"planck/internal/units"
 )
 
-// Table-driven coverage for remapFlow/removeFlow when the controller's
+// Table-driven coverage for remapFlowAt/removeFlow when the controller's
 // PortMapper changes routes mid-flow — the PlanckTE reroute case (§4):
 // the controller installs new routing state and shares it with the
 // collector, which must immediately move each live flow's utilization

@@ -204,6 +204,13 @@ type ShardedCollector struct {
 	ring     *Ring
 	closed   bool
 
+	// resolver is the dispatcher's own pin on the versioned routing
+	// plane, set when SetPortMapper is handed a RouteResolver; each
+	// shard worker holds an independent Fork. routeEpoch is the epoch
+	// the pipeline was last synced to at a batch boundary.
+	resolver   RouteResolver
+	routeEpoch uint64
+
 	idAlloc atomic.Int32
 
 	mg merger
@@ -328,9 +335,26 @@ func (s *ShardedCollector) NumShards() int { return len(s.workers) }
 // serial collector, and re-syncs the merger's port view.
 func (s *ShardedCollector) SetPortMapper(m PortMapper) {
 	s.Flush()
-	for _, w := range s.workers {
-		w.col.SetPortMapper(m)
+	rr, _ := m.(RouteResolver)
+	s.resolver = rr
+	if rr != nil {
+		s.routeEpoch = rr.Refresh()
 	}
+	for _, w := range s.workers {
+		wm := m
+		if rr != nil {
+			// Views pin state per Refresh and are single-goroutine;
+			// every shard worker resolves through its own fork.
+			wm = rr.Fork()
+		}
+		w.col.SetPortMapper(wm)
+	}
+	s.resyncMergerPorts()
+}
+
+// resyncMergerPorts re-aligns the merger's lock-free read view with the
+// shards' freshly re-resolved per-flow egress ports.
+func (s *ShardedCollector) resyncMergerPorts() {
 	v := &s.mg.view
 	v.mu.Lock()
 	for _, w := range s.workers {
@@ -341,6 +365,31 @@ func (s *ShardedCollector) SetPortMapper(m PortMapper) {
 		})
 	}
 	v.mu.Unlock()
+}
+
+// syncRoutes observes a routing-epoch change at a batch boundary: it
+// drains the pipeline to a quiescent point, has every shard re-resolve
+// its live flows at their last-sample times (identical to the serial
+// collector's resync), and re-aligns the merger view. Between epoch
+// changes it costs one atomic load and a compare. Per-sample
+// attribution inside the shards still resolves by timestamp, so a
+// commit landing mid-batch charges straddling samples to the epoch
+// live at their timestamps in serial and sharded runs alike.
+func (s *ShardedCollector) syncRoutes() {
+	rr := s.resolver
+	if rr == nil {
+		return
+	}
+	e := rr.Refresh()
+	if e == s.routeEpoch {
+		return
+	}
+	s.routeEpoch = e
+	s.Flush()
+	for _, w := range s.workers {
+		w.col.syncRoutes()
+	}
+	s.resyncMergerPorts()
 }
 
 // Subscribe registers fn for congestion events. Call before the first
@@ -382,6 +431,7 @@ func (s *ShardedCollector) Ingest(t units.Time, frame []byte) error {
 	if t < s.now {
 		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, s.now)
 	}
+	s.syncRoutes()
 	s.ingestOne(t, frame)
 	return nil
 }
@@ -400,6 +450,7 @@ func (s *ShardedCollector) IngestBatch(ts []units.Time, frames [][]byte) error {
 	if n == 0 {
 		return nil
 	}
+	s.syncRoutes()
 	mono := ts[0] >= s.now
 	for i := 1; mono && i < n; i++ {
 		mono = ts[i] >= ts[i-1]

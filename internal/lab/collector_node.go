@@ -19,17 +19,12 @@ import (
 // each simulated packet into genuine wire bytes before handing it to the
 // collector, so the exact parse path a hardware deployment would run is
 // exercised for every sample.
-// ingester is the part of a collector the capture stack feeds. Both the
-// serial core.Collector and the concurrent core.ShardedCollector
-// satisfy it.
-type ingester interface {
-	Ingest(t units.Time, frame []byte) error
-	IngestBatch(ts []units.Time, frames [][]byte) error
-}
-
 type CollectorNode struct {
-	eng      *sim.Engine
-	ing      ingester
+	eng *sim.Engine
+	// ing is the part of a collector the capture stack feeds: the
+	// shared core.Ingester seam both the serial core.Collector and
+	// the concurrent core.ShardedCollector satisfy.
+	ing      core.Ingester
 	col      *core.Collector        // serial mode, nil when sharded
 	sharded  *core.ShardedCollector // sharded mode, nil when serial
 	port     *sim.Port

@@ -224,9 +224,11 @@ func New(opts Options) (*Lab, error) {
 			if opts.CollectorShards > 0 {
 				sc := core.NewSharded(core.ShardedConfig{Config: ccfg, Shards: opts.CollectorShards})
 				node = NewShardedCollectorNode(eng, sc, net.LineRate, opts.PollInterval, opts.PollOverhead)
-				// The sharded pipeline still gets the routing oracle, but
-				// the controller's event plumbing stays serial-only.
-				sc.SetPortMapper(controller.NewSwitchMapper(net, s))
+				// The sharded pipeline reads the same epoch-versioned
+				// routing store as every other consumer (each shard
+				// forks its own view), but the controller's event
+				// plumbing stays serial-only.
+				sc.SetPortMapper(l.Ctrl.Mapper(s))
 			} else {
 				node = NewCollectorNode(eng, core.New(ccfg), net.LineRate, opts.PollInterval, opts.PollOverhead)
 			}

@@ -6,9 +6,9 @@ import (
 	"sort"
 	"testing"
 
-	"planck/internal/controller"
 	"planck/internal/core"
 	"planck/internal/packet"
+	"planck/internal/routing"
 	"planck/internal/topo"
 	"planck/internal/units"
 )
@@ -77,7 +77,7 @@ func captureTestbedStream(t *testing.T) (*capturedStream, core.Config, core.Port
 		t.Fatalf("capture too small to exercise the pipeline: %d samples", cs.n())
 	}
 	ccfg := core.Config{SwitchName: "sw0", NumPorts: len(net.Ports[0]), LinkRate: net.LineRate}
-	return cs, ccfg, controller.NewSwitchMapper(net, 0)
+	return cs, ccfg, routing.StaticView(net, 0)
 }
 
 // oracleReport is everything observable about one replay.

@@ -232,8 +232,11 @@ func (sup *Supervisor) tick(now units.Time) {
 }
 
 // restart builds a replacement collector for the crashed one and
-// re-syncs it: fresh routing oracle from the controller (§3.2.1's
-// route sync), restored event cooldowns so replayed congestion does not
+// re-syncs it: a fresh routing view from the controller's versioned
+// store — pinned to the current epoch by construction, so a collector
+// that died before a reroute comes back attributing samples to the
+// post-reroute state, not its private pre-crash copy (§3.2.1's route
+// sync) — restored event cooldowns so replayed congestion does not
 // re-fire inside the cooldown, and a new-generation event tap.
 func (sup *Supervisor) restart() {
 	sup.gen++

@@ -1,0 +1,112 @@
+package routing
+
+import (
+	"planck/internal/core"
+	"planck/internal/packet"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// View is a per-switch window onto a Store: the routing oracle a
+// collector uses to infer ports from sampled packets (§3.2.1). A View
+// pins one published history per Refresh — one atomic load — and then
+// resolves every sample of the batch against that pin, lock-free and
+// allocation-free. Views are single-goroutine; each shard worker gets
+// its own via Fork.
+type View struct {
+	store *Store
+	sw    int
+	h     *history
+}
+
+var _ core.RouteResolver = (*View)(nil)
+
+// NewView opens a view of st scoped to switch sw, pinned to the
+// current epoch.
+func NewView(st *Store, sw int) *View {
+	return &View{store: st, sw: sw, h: st.cur.Load()}
+}
+
+// StaticView is a convenience for tests and standalone collectors: a
+// view over a fresh private store of net (epoch 0, base trees, no
+// overrides), equivalent to the old one-shot SwitchMapper.
+func StaticView(net *topo.Network, sw int) *View {
+	return NewView(NewStore(net), sw)
+}
+
+// Store returns the store this view reads.
+func (v *View) Store() *Store { return v.store }
+
+// Switch returns the switch this view is scoped to.
+func (v *View) Switch() int { return v.sw }
+
+// Epoch returns the pinned (current-as-of-last-Refresh) epoch.
+func (v *View) Epoch() uint64 { return v.h.snaps[0].epoch }
+
+// At returns the pinned snapshot that was live at time t.
+func (v *View) At(t units.Time) *Snapshot { return v.h.at(t) }
+
+// Refresh implements core.RouteResolver: re-pin to the currently
+// published history and report its epoch.
+func (v *View) Refresh() uint64 {
+	v.h = v.store.cur.Load()
+	return v.h.snaps[0].epoch
+}
+
+// Fork implements core.RouteResolver.
+func (v *View) Fork() core.RouteResolver { return NewView(v.store, v.sw) }
+
+// OutputPort implements core.PortMapper: static shadow-MAC table
+// lookup on the pinned current epoch. The table is epoch-invariant
+// (reroutes relabel packets, they don't reprogram MAC tables), so this
+// matches the switch for any sample carrying dst as its label.
+func (v *View) OutputPort(dst packet.MAC) (int, bool) {
+	p, ok := v.store.outPorts[v.sw][dst]
+	return int(p), ok
+}
+
+// ResolveOutput implements core.RouteResolver. The label on a mirrored
+// sample is what the switch actually forwarded on (the mirror tap sits
+// after the flow-rule rewrite), so the static table is authoritative —
+// except at this flow's ingress switch during a per-flow override,
+// where samples timestamped before the rule landed still carry the old
+// label while the snapshot live at t already routes the flow onto its
+// override tree. Resolving through the epoch live at t charges each
+// sample to the path its bytes actually took.
+func (v *View) ResolveOutput(t units.Time, key packet.FlowKey, dst packet.MAC) (int, uint64, bool) {
+	snap := v.h.at(t)
+	if o, ok := snap.flowTrees[key]; ok && snap.net.Hosts[o.src].Switch == v.sw {
+		if p := snap.net.RoutePort(int(o.tree), int(o.dst), v.sw); p >= 0 {
+			return p, snap.epoch, true
+		}
+	}
+	p, ok := v.store.outPorts[v.sw][dst]
+	return int(p), snap.epoch, ok
+}
+
+// InputPort implements core.PortMapper: walk the source pair's tree
+// path (as of the pinned current epoch) and report the port the packet
+// entered this switch on.
+func (v *View) InputPort(src, dst packet.MAC) (int, bool) {
+	snap := v.h.snaps[0]
+	net := snap.net
+	srcHost, _, ok := topo.TreeOfMAC(src)
+	if !ok || srcHost >= net.NumHosts() {
+		return 0, false
+	}
+	dstHost, tree, ok := topo.TreeOfMAC(dst)
+	if !ok || tree >= net.NumTrees || dstHost >= net.NumHosts() || srcHost == dstHost {
+		return 0, false
+	}
+	attach := net.Hosts[srcHost]
+	if attach.Switch == v.sw {
+		return attach.Port, true
+	}
+	for _, l := range net.PathFor(srcHost, dstHost, tree) {
+		ep := net.Ports[l.Switch][l.Port]
+		if ep.Kind == topo.ToSwitch && ep.Switch == v.sw {
+			return ep.Port, true
+		}
+	}
+	return 0, false
+}

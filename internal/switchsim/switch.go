@@ -242,6 +242,14 @@ func (sw *Switch) InstallMAC(mac packet.MAC, out int) {
 	sw.macTable[mac.U64()] = int32(out)
 }
 
+// InstallMACs bulk-installs a whole forwarding table, as when a routing
+// snapshot is (re)installed. Entries are validated like InstallMAC.
+func (sw *Switch) InstallMACs(entries map[packet.MAC]int) {
+	for mac, out := range entries {
+		sw.InstallMAC(mac, out)
+	}
+}
+
 // LookupMAC returns the output port for mac.
 func (sw *Switch) LookupMAC(mac packet.MAC) (int, bool) {
 	out, ok := sw.macTable[mac.U64()]
@@ -252,6 +260,14 @@ func (sw *Switch) LookupMAC(mac packet.MAC) (int, bool) {
 // are delivered with their destination rewritten to real (paper Fig. 13).
 func (sw *Switch) InstallRewrite(shadow, real packet.MAC) {
 	sw.rewriteTab[shadow.U64()] = real
+}
+
+// InstallRewrites bulk-installs egress restore rules from a routing
+// snapshot's shadow→base table.
+func (sw *Switch) InstallRewrites(rules map[packet.MAC]packet.MAC) {
+	for shadow, real := range rules {
+		sw.InstallRewrite(shadow, real)
+	}
 }
 
 // InstallFlowRule adds or replaces a 5-tuple rule.

@@ -5,6 +5,7 @@ import (
 
 	"planck/internal/controller"
 	"planck/internal/packet"
+	"planck/internal/routing"
 	"planck/internal/sim"
 	"planck/internal/topo"
 	"planck/internal/units"
@@ -22,14 +23,17 @@ type GFFConfig struct {
 	MinFlowFraction float64
 }
 
-// GFF is the polling-based global-first-fit traffic engineer.
+// GFF is the polling-based global-first-fit traffic engineer. Current
+// flow placements come from the controller's versioned routing store —
+// the same snapshot the collectors and PlanckTE read — so the poller
+// never drifts from what is actually installed.
 type GFF struct {
-	ctrl *controller.Controller
-	cfg  GFFConfig
-	net  *topo.Network
+	ctrl  *controller.Controller
+	cfg   GFFConfig
+	net   *topo.Network
+	store *routing.Store
 
 	lastBytes map[packet.FlowKey]int64
-	assigned  map[packet.FlowKey]int // current tree per flow
 	ticker    *sim.Ticker
 
 	// Polls and Reroutes count scheduler activity.
@@ -49,8 +53,8 @@ func NewGFF(ctrl *controller.Controller, cfg GFFConfig) *GFF {
 		ctrl:      ctrl,
 		cfg:       cfg,
 		net:       ctrl.Network(),
+		store:     ctrl.RoutingStore(),
 		lastBytes: make(map[packet.FlowKey]int64),
-		assigned:  make(map[packet.FlowKey]int),
 	}
 	g.ticker = sim.NewTicker(ctrl.Engine(), cfg.Interval, g.poll)
 	return g
@@ -71,6 +75,7 @@ type measuredFlow struct {
 // flow onto the tree with room, reserving capacity as it goes.
 func (g *GFF) poll(now units.Time) {
 	g.Polls++
+	snap := g.store.Load()
 	var flows []measuredFlow
 	seen := make(map[packet.FlowKey]bool)
 	for s := 0; s < g.net.NumSwitches(); s++ {
@@ -126,13 +131,13 @@ func (g *GFF) poll(now units.Time) {
 
 	reserved := make(map[topo.LinkID]units.Rate)
 	for _, f := range flows {
-		cur, ok := g.assigned[f.key]
-		if !ok {
-			cur = g.ctrl.InitialTree(f.dst)
-		}
+		// The snapshot, not a private shadow map, says where the flow
+		// currently rides: per-flow override from an earlier GFF pass,
+		// else the pair/base tree the controller installed.
+		cur := snap.TreeFor(f.key, f.src, f.dst)
 		placed := -1
-		for tree := 0; tree < g.net.NumTrees; tree++ {
-			if g.fits(f, tree, reserved) {
+		for tree := 0; tree < snap.NumTrees(); tree++ {
+			if g.fits(snap, f, tree, reserved) {
 				placed = tree
 				break
 			}
@@ -140,26 +145,25 @@ func (g *GFF) poll(now units.Time) {
 		if placed < 0 {
 			placed = cur // nothing fits: stay put
 		}
-		g.reserve(f, placed, reserved)
+		g.reserve(snap, f, placed, reserved)
 		if placed != cur {
-			g.assigned[f.key] = placed
 			g.Reroutes++
 			g.ctrl.RerouteOF(now, f.key, f.src, f.dst, placed)
 		}
 	}
 }
 
-func (g *GFF) fits(f measuredFlow, tree int, reserved map[topo.LinkID]units.Rate) bool {
-	for _, l := range g.net.PathFor(f.src, f.dst, tree) {
-		if reserved[l]+f.rate > g.net.LineRate {
+func (g *GFF) fits(snap *routing.Snapshot, f measuredFlow, tree int, reserved map[topo.LinkID]units.Rate) bool {
+	for _, l := range snap.PathFor(f.src, f.dst, tree) {
+		if reserved[l]+f.rate > snap.LineRate() {
 			return false
 		}
 	}
 	return true
 }
 
-func (g *GFF) reserve(f measuredFlow, tree int, reserved map[topo.LinkID]units.Rate) {
-	for _, l := range g.net.PathFor(f.src, f.dst, tree) {
+func (g *GFF) reserve(snap *routing.Snapshot, f measuredFlow, tree int, reserved map[topo.LinkID]units.Rate) {
+	for _, l := range snap.PathFor(f.src, f.dst, tree) {
 		reserved[l] += f.rate
 	}
 }

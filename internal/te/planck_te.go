@@ -13,6 +13,7 @@ import (
 	"planck/internal/controller"
 	"planck/internal/core"
 	"planck/internal/packet"
+	"planck/internal/routing"
 	"planck/internal/sim"
 	"planck/internal/topo"
 	"planck/internal/units"
@@ -78,11 +79,17 @@ type flowView struct {
 	lastMoved units.Time
 }
 
-// PlanckTE is the event-driven traffic engineer.
+// PlanckTE is the event-driven traffic engineer. It reads alternate
+// trees and bottleneck capacities from the controller's versioned
+// routing store: each event or refresh pass pins the current snapshot
+// once and plans the whole pass against that epoch.
 type PlanckTE struct {
-	ctrl *controller.Controller
-	cfg  PlanckTEConfig
-	net  *topo.Network
+	ctrl  *controller.Controller
+	cfg   PlanckTEConfig
+	net   *topo.Network
+	store *routing.Store
+	// snap is the snapshot pinned for the current planning pass.
+	snap *routing.Snapshot
 
 	view map[packet.FlowKey]*flowView
 
@@ -99,11 +106,13 @@ func NewPlanckTE(ctrl *controller.Controller, cfg PlanckTEConfig) *PlanckTE {
 		cfg = DefaultPlanckTEConfig()
 	}
 	t := &PlanckTE{
-		ctrl: ctrl,
-		cfg:  cfg,
-		net:  ctrl.Network(),
-		view: make(map[packet.FlowKey]*flowView),
+		ctrl:  ctrl,
+		cfg:   cfg,
+		net:   ctrl.Network(),
+		store: ctrl.RoutingStore(),
+		view:  make(map[packet.FlowKey]*flowView),
 	}
+	t.snap = t.store.Load()
 	ctrl.Subscribe(t.onCongestion)
 	if cfg.ViewRefresh > 0 {
 		sim.NewTicker(ctrl.Engine(), cfg.ViewRefresh, t.refreshView)
@@ -117,6 +126,7 @@ func NewPlanckTE(ctrl *controller.Controller, cfg PlanckTEConfig) *PlanckTE {
 // current path is overloaded by demand but whose links are too quiet to
 // fire events.
 func (t *PlanckTE) refreshView(now units.Time) {
+	t.snap = t.store.Load()
 	type obs struct {
 		fi   core.FlowInfo
 		seen units.Time
@@ -167,6 +177,7 @@ func (t *PlanckTE) refreshView(now units.Time) {
 // onCongestion implements Algorithm 1's process_cong_ntfy.
 func (t *PlanckTE) onCongestion(ev core.CongestionEvent) {
 	t.EventsHandled++
+	t.snap = t.store.Load()
 	now := ev.Time
 
 	// Update network state from the notification's flow annotations.
@@ -196,7 +207,7 @@ func (t *PlanckTE) refreshDemands() {
 		counts.add(fv.key)
 	}
 	for _, fv := range t.view {
-		fv.demand = counts.demand(fv.key, t.net.LineRate)
+		fv.demand = counts.demand(fv.key, t.snap.LineRate())
 	}
 }
 
@@ -210,8 +221,8 @@ func (t *PlanckTE) updateFlow(now units.Time, fi core.FlowInfo) *flowView {
 	if !ok || src < 0 || src >= t.net.NumHosts() {
 		return nil
 	}
-	dst, tree, ok := topo.TreeOfMAC(fi.DstMAC)
-	if !ok || tree >= t.net.NumTrees || dst < 0 || dst >= t.net.NumHosts() || dst == src {
+	dst, labelTree, ok := topo.TreeOfMAC(fi.DstMAC)
+	if !ok || labelTree >= t.net.NumTrees || dst >= t.net.NumHosts() || dst == src {
 		return nil
 	}
 	fv := t.view[fi.Key]
@@ -219,14 +230,16 @@ func (t *PlanckTE) updateFlow(now units.Time, fi core.FlowInfo) *flowView {
 		fv = &flowView{key: fi.Key, src: src, dst: dst, lastMoved: -1 << 62}
 		t.view[fi.Key] = fv
 	}
-	// Collectors on a flow's old path keep reporting its previous routing
-	// label for a freshness window after a reroute. Within the move
-	// cooldown the controller trusts its own action over annotations —
-	// this is the §4.1 settling discipline; without it the stale labels
-	// make the greedy router flap.
-	if now.Sub(fv.lastMoved) >= t.cfg.MoveCooldown {
-		fv.tree = tree
-	}
+	// The routing snapshot is authoritative for which tree the flow
+	// rides: collectors on a flow's old path keep reporting its
+	// previous routing label for a freshness window after a reroute,
+	// but the store already carries the committed override. Reading
+	// the tree from the pinned snapshot (instead of trusting labels
+	// and suppressing them during a cooldown window, as before the
+	// versioned routing plane) removes the stale-label flap hazard by
+	// construction; tree from the sampled label is kept above only to
+	// validate that the annotation is host traffic.
+	fv.tree = t.snap.TreeFor(fi.Key, src, dst)
 	fv.rate = fi.Rate
 	fv.lastHeard = now
 	return fv
@@ -249,7 +262,7 @@ func (t *PlanckTE) linkLoad(l topo.LinkID, skip *flowView) units.Rate {
 		if fv == skip {
 			continue
 		}
-		for _, fl := range t.net.PathFor(fv.src, fv.dst, fv.tree) {
+		for _, fl := range t.snap.PathFor(fv.src, fv.dst, fv.tree) {
 			if fl == l {
 				load += fv.demand
 				break
@@ -264,9 +277,9 @@ func (t *PlanckTE) linkLoad(l topo.LinkID, skip *flowView) units.Rate {
 // allowed to go negative so the greedy step can still prefer a
 // 2-flow link over a 3-flow link when nothing is free.
 func (t *PlanckTE) pathBottleneck(src, dst, tree int, skip *flowView) units.Rate {
-	btl := t.net.LineRate
-	for _, l := range t.net.PathFor(src, dst, tree) {
-		residual := t.net.LineRate - t.linkLoad(l, skip)
+	btl := t.snap.LineRate()
+	for _, l := range t.snap.PathFor(src, dst, tree) {
+		residual := t.snap.LineRate() - t.linkLoad(l, skip)
 		if residual < btl {
 			btl = residual
 		}
@@ -282,7 +295,7 @@ func (t *PlanckTE) greedyRouteFlow(now units.Time, fv *flowView) {
 	}
 	bestTree := fv.tree
 	bestBtl := t.pathBottleneck(fv.src, fv.dst, fv.tree, fv)
-	for tree := 0; tree < t.net.NumTrees; tree++ {
+	for tree := 0; tree < t.snap.NumTrees(); tree++ {
 		if tree == fv.tree {
 			continue
 		}

@@ -1,0 +1,83 @@
+package topo
+
+import (
+	"testing"
+
+	"planck/internal/packet"
+)
+
+// TestTreeOfMACIsTotalInverse exhaustively checks that TreeOfMAC
+// inverts ShadowMAC over the entire encodable host/tree domain: hosts
+// 0..65534 (ids are 1-based 16-bit) times trees 0..255.
+func TestTreeOfMACIsTotalInverse(t *testing.T) {
+	for h := 0; h <= 0xfffe; h++ {
+		for tr := 0; tr <= 0xff; tr++ {
+			m := ShadowMAC(h, tr)
+			gh, gt, ok := TreeOfMAC(m)
+			if !ok || gh != h || gt != tr {
+				t.Fatalf("TreeOfMAC(ShadowMAC(%d,%d)) = (%d,%d,%v)", h, tr, gh, gt, ok)
+			}
+		}
+	}
+}
+
+func TestTreeOfMACRejectsForeignMACs(t *testing.T) {
+	cases := []struct {
+		name string
+		m    packet.MAC
+	}{
+		{"wrong OUI byte", packet.MAC{0xde, 0x00, 0, 0, 0, 1}},
+		{"nonzero pad byte 2", packet.MAC{0x02, 0x01, 0xff, 0, 0, 1}},
+		{"nonzero pad byte 3", packet.MAC{0x02, 0x01, 0, 0xff, 0, 1}},
+		{"zero host id", packet.MAC{0x02, 0x03, 0, 0, 0, 0}},
+		{"broadcast", packet.BroadcastMAC},
+		{"zero MAC", packet.MAC{}},
+		{"controller MAC", packet.MAC{0x02, 0xff, 0, 0, 0, 0xfe}},
+	}
+	for _, c := range cases {
+		if h, tr, ok := TreeOfMAC(c.m); ok {
+			// The controller MAC is structurally a valid shadow MAC
+			// (id 254); only the genuinely malformed ones must fail.
+			if c.name == "controller MAC" {
+				if h != 0xfd || tr != 0xff {
+					t.Fatalf("%s decoded to (%d,%d)", c.name, h, tr)
+				}
+				continue
+			}
+			t.Fatalf("%s accepted as (%d,%d)", c.name, h, tr)
+		} else if c.name == "controller MAC" {
+			t.Fatalf("%s rejected; it is structurally a shadow MAC", c.name)
+		}
+	}
+}
+
+// FuzzTreeOfMAC checks the inverse property from the decode side: any
+// six bytes either decode to a (host, tree) pair that ShadowMAC maps
+// back to exactly the input, or are rejected — and rejection happens
+// exactly for the MACs outside ShadowMAC's image.
+func FuzzTreeOfMAC(f *testing.F) {
+	seed := func(m packet.MAC) { f.Add(m[0], m[1], m[2], m[3], m[4], m[5]) }
+	seed(ShadowMAC(0, 0))
+	seed(ShadowMAC(8, 2))
+	seed(ShadowMAC(0xfffe, 0xff))
+	seed(packet.MAC{0x02, 0x01, 0, 0, 0, 0}) // structurally valid, zero id
+	seed(packet.MAC{0xde, 0xad, 0, 0, 0, 1})
+	seed(packet.BroadcastMAC)
+	f.Fuzz(func(t *testing.T, b0, b1, b2, b3, b4, b5 byte) {
+		m := packet.MAC{b0, b1, b2, b3, b4, b5}
+		host, tree, ok := TreeOfMAC(m)
+		inImage := m[0] == 0x02 && m[2] == 0 && m[3] == 0 && (m[4] != 0 || m[5] != 0)
+		if ok != inImage {
+			t.Fatalf("TreeOfMAC(%v) ok=%v, want %v", m, ok, inImage)
+		}
+		if !ok {
+			return
+		}
+		if host < 0 || host > 0xfffe || tree < 0 || tree > 0xff {
+			t.Fatalf("TreeOfMAC(%v) out of domain: host=%d tree=%d", m, host, tree)
+		}
+		if rt := ShadowMAC(host, tree); rt != m {
+			t.Fatalf("ShadowMAC(%d,%d)=%v, want round-trip to %v", host, tree, rt, m)
+		}
+	})
+}

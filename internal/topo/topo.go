@@ -90,12 +90,21 @@ func ShadowMAC(h, t int) packet.MAC {
 	return packet.MAC{0x02, byte(t), 0x00, 0x00, byte(id >> 8), byte(id)}
 }
 
-// TreeOfMAC inverts ShadowMAC. ok is false for foreign MACs.
+// TreeOfMAC inverts ShadowMAC. ok is false for foreign MACs, including
+// the zero host id: ShadowMAC ids are 1-based, so a structurally valid
+// MAC carrying id 0 was never assigned to a host. With that rejection
+// TreeOfMAC is a total inverse over the host/tree domain — ok implies
+// ShadowMAC(host, tree) == m with host >= 0 (property- and fuzz-tested
+// in shadowmac_prop_test.go).
 func TreeOfMAC(m packet.MAC) (host, tree int, ok bool) {
 	if m[0] != 0x02 || m[2] != 0 || m[3] != 0 {
 		return 0, 0, false
 	}
-	return (int(m[4])<<8 | int(m[5])) - 1, int(m[1]), true
+	id := int(m[4])<<8 | int(m[5])
+	if id == 0 {
+		return 0, 0, false
+	}
+	return id - 1, int(m[1]), true
 }
 
 // HostIP returns host h's IP address.

@@ -121,10 +121,10 @@ func NewShardedCollector(cfg ShardedCollectorConfig) *ShardedCollector { return 
 // order-sensitive effects included), but amortizes per-call overhead
 // when the batch's timestamps are non-decreasing. Per-frame failures do
 // not stop the batch; they are aggregated into a *BatchError.
-type Ingester interface {
-	Ingest(t Time, frame []byte) error
-	IngestBatch(ts []Time, frames [][]byte) error
-}
+//
+// Ingester is an alias of core.Ingester, the seam the lab's capture
+// stack, the fault injector, and the UDP/pcap transports all share.
+type Ingester = core.Ingester
 
 // NewRateEstimator returns an estimator with the paper's constants
 // (200 µs minimum burst gap, 700 µs maximum window).
