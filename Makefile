@@ -5,7 +5,7 @@ GO ?= go
 # offline machines with a cold cache.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke staticcheck check bench bench-obs bench-shard bench-ingest bench-route bench-gate clean
+.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke trace-smoke staticcheck check bench bench-obs bench-shard bench-ingest bench-route bench-trace bench-gate clean
 
 all: check
 
@@ -49,6 +49,13 @@ chaos-smoke: vet
 	$(GO) test -race -run 'TestChaos|TestHeartbeat' -timeout 15m ./internal/lab/ ./internal/core/
 	$(GO) test -run xxx -fuzz FuzzParseSpec -fuzztime 5s ./internal/faults/
 
+# trace-smoke runs the TE workload with control-loop tracing on and
+# fails unless at least one trace converged — a converged span has every
+# stage populated (detection, queue, delivery, decision, actuation,
+# convergence) and its stage durations sum to its wall time.
+trace-smoke: vet
+	$(GO) run ./cmd/planck-sim -size 20MiB -seed 1 -trace-min 1 > /dev/null
+
 # staticcheck runs the pinned honnef.co/go/tools linter. Preference
 # order: an installed binary, then `go run` against the local module
 # cache. On an offline machine with neither it prints a skip notice and
@@ -67,7 +74,7 @@ staticcheck:
 # check is the tier-1 gate: everything must compile, vet clean, lint
 # clean (where staticcheck is available), pass, and hold the committed
 # ingest hot-path budget.
-check: vet build test race-fast staticcheck bench-gate
+check: vet build test race-fast staticcheck trace-smoke bench-gate
 
 # bench runs the per-figure testing.B targets once each.
 bench: vet
@@ -100,14 +107,22 @@ bench-ingest: vet
 bench-route: vet
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -route-json BENCH_route.json
 
+# bench-trace measures the control-loop tracer's idle overhead on the
+# view-attached ingest path into BENCH_trace.json (self-gated: traced
+# ingest 0 allocs/op and within +2% of the same-run bare pair).
+bench-trace: vet
+	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -trace-json BENCH_trace.json
+
 # bench-gate re-measures ingest_serial and fails if it regressed more
 # than 5% against the committed BENCH_ingest.json baseline, then runs
 # the routing-plane self-gates (view rows 0 allocs/op, ingest_view
-# within +5% of same-run ingest_serial).
+# within +5% of same-run ingest_serial) and the tracer's idle-overhead
+# self-gate (traced ingest 0 allocs/op, within +2% of bare).
 bench-gate: vet
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -ingest-json - -gate-against BENCH_ingest.json
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -route-json -
+	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -trace-json -
 
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_route.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_route.json BENCH_trace.json
 	$(GO) clean ./...

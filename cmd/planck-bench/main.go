@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -170,8 +171,14 @@ func main() {
 	shardJSON := flag.String("shard-json", "", "run the sharded-vs-serial ingest benchmarks, write JSON here (\"-\" = stdout), and exit")
 	ingestJSON := flag.String("ingest-json", "", "run the ingest hot-path benchmarks, write JSON here (\"-\" = stdout), and exit")
 	routeJSON := flag.String("route-json", "", "run the routing-plane benchmarks (commit/view/ingest-with-view), write JSON here (\"-\" = stdout), and exit")
+	traceJSON := flag.String("trace-json", "", "run the idle-tracing overhead benchmarks (self-gated: ≤2% over bare ingest, 0 allocs/op), write JSON here (\"-\" = stdout), and exit")
 	gateAgainst := flag.String("gate-against", "", "with -ingest-json: fail if ingest_serial regressed >5% vs this baseline report")
+	cpu := flag.Int("cpu", 0, "set GOMAXPROCS for this run (0 = runtime default); reports record the effective value")
 	flag.Parse()
+
+	if *cpu > 0 {
+		runtime.GOMAXPROCS(*cpu)
+	}
 
 	if *obsJSON != "" {
 		if err := runObsBench(*obsJSON); err != nil {
@@ -189,6 +196,13 @@ func main() {
 	}
 	if *routeJSON != "" {
 		if err := runRouteBench(*routeJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceJSON != "" {
+		if err := runTraceBench(*traceJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

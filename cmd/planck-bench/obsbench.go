@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"planck/internal/core"
@@ -21,15 +22,23 @@ type obsBenchRow struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// obsBenchReport is BENCH_obs.json: the rows plus the parallelism the
+// host actually offered, like every other BENCH_*.json report.
+type obsBenchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Rows       []obsBenchRow `json:"rows"`
+}
+
 // runObsBench measures the observability layer's overhead budget — the
 // ISSUE's acceptance numbers: counter increments in the tens of
 // nanoseconds, and a disabled registry adding zero allocations to the
 // collector hot path — and writes the rows as JSON to path ("-" for
 // stdout).
 func runObsBench(path string) error {
-	var rows []obsBenchRow
+	rep := obsBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	add := func(name string, r testing.BenchmarkResult) {
-		rows = append(rows, obsBenchRow{
+		rep.Rows = append(rep.Rows, obsBenchRow{
 			Name:        name,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -78,7 +87,7 @@ func runObsBench(path string) error {
 		benchIngest(b, obs.NewRegistry(), true)
 	}))
 
-	out, err := json.MarshalIndent(rows, "", "  ")
+	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}

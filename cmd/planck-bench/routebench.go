@@ -176,13 +176,20 @@ func benchRouteViewRefresh(b *testing.B) {
 // resolved output port. The delta against ingest_serial is the routing
 // plane's whole hot-path cost.
 func benchIngestView(b *testing.B) {
+	benchIngestViewWith(b, core.Config{SwitchName: "bench", NumPorts: 8, LinkRate: units.Rate10G})
+}
+
+// benchIngestViewWith runs the view-attached ingest workload over a
+// caller-tuned collector config — the seam tracebench uses to attach an
+// idle control-loop tracer to the otherwise identical hot path.
+func benchIngestViewWith(b *testing.B, cfg core.Config) {
 	const nFlows = 64
 	net := topo.FatTree16(units.Rate10G)
 	st := routing.NewStore(net)
 	st.Commit(0, nil)
 	// The shared bench frames label dst host 1 tree 0; resolve at host
 	// 1's edge switch so every sample maps.
-	col := core.New(core.Config{SwitchName: "bench", NumPorts: 8, LinkRate: units.Rate10G})
+	col := core.New(cfg)
 	col.SetPortMapper(routing.NewView(st, net.Hosts[1].Switch))
 
 	frames := benchFrames(nFlows)

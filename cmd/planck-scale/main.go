@@ -1,23 +1,34 @@
 // Command planck-scale prints the §9.1 deployment-cost table and lets
-// operators explore other switch radixes.
+// operators explore other switch radixes. With -run it also executes a
+// minimal k=4 fat-tree pass end to end — colliding workload, PlanckTE,
+// control-loop tracing — and prints the trace summary, exiting nonzero
+// unless at least one complete detection→convergence trace was
+// recorded; CI uses this as the scale-pipeline smoke artifact.
 //
 // Usage:
 //
 //	planck-scale
 //	planck-scale -ports 32 -monitor 2
+//	planck-scale -run -seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"planck/internal/experiments"
+	"planck/internal/lab"
+	"planck/internal/obs/trace"
 	"planck/internal/scale"
+	"planck/internal/units"
 )
 
 func main() {
 	ports := flag.Int("ports", 0, "explore a custom switch radix (0 = just the paper table)")
 	monitor := flag.Int("monitor", 1, "monitor ports per switch for -ports mode")
+	run := flag.Bool("run", false, "run a minimal k=4 end-to-end traced pass and print its trace summary")
+	seed := flag.Int64("seed", 7, "seed for -run")
 	flag.Parse()
 
 	fmt.Print(experiments.Scalability().Render())
@@ -28,4 +39,44 @@ func main() {
 		j := scale.PlanJellyfish(*ports, *monitor, d.Hosts)
 		fmt.Printf("custom Jellyfish (same hosts):        %s\n", j)
 	}
+
+	if *run {
+		os.Exit(smoke(*seed))
+	}
+}
+
+// smoke runs the minimal end-to-end pass: the k=4 (16-host) fat tree
+// under PlanckTE with a stride workload whose base-tree collisions
+// force reroutes, tracing every control loop. Returns the process exit
+// code.
+func smoke(seed int64) int {
+	tracer := trace.New(256)
+	l, cleanup, err := experiments.SchemeLabWith(experiments.SchemePlanckTE, seed,
+		func(opts *lab.Options) { opts.Tracer = tracer })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer cleanup()
+
+	res := experiments.RunWorkloadOn(l, experiments.WorkloadStride, 20<<20, seed,
+		60*units.Duration(units.Second))
+
+	fmt.Printf("\nk=4 smoke pass: %d/%d flows completed at %v, epoch %d, %d reroutes\n",
+		res.Completed, res.Total, res.FinishedAt,
+		l.Ctrl.RoutingStore().Epoch(), l.Ctrl.ARPReroutes+l.Ctrl.OFReroutes)
+	tracer.FlushOpen()
+	tracer.WriteBreakdown(os.Stdout)
+
+	if res.Completed < res.Total {
+		fmt.Fprintf(os.Stderr, "smoke: only %d/%d flows completed\n", res.Completed, res.Total)
+		return 1
+	}
+	for _, s := range tracer.ConvergedSpans() {
+		if s.Complete() {
+			return 0
+		}
+	}
+	fmt.Fprintln(os.Stderr, "smoke: no complete detection→convergence trace recorded")
+	return 1
 }

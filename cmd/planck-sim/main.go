@@ -22,7 +22,9 @@ import (
 
 	"planck/internal/experiments"
 	"planck/internal/faults"
+	"planck/internal/lab"
 	"planck/internal/obs"
+	"planck/internal/obs/trace"
 	"planck/internal/units"
 )
 
@@ -36,7 +38,12 @@ func main() {
 	statsEvery := flag.Duration("stats-every", 0, "period between one-line stats reports on stderr (0 = off)")
 	faultSpec := flag.String("fault", "", `fault-injection spec for every monitored collector feed, e.g. "loss:0.5@1s-2s,crash@3s" (empty = off)`)
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault injectors (0 = derive from -seed)")
+	traceFlag := flag.Bool("trace", false, "record control-loop spans and print the per-stage latency breakdown (Fig. 10)")
+	traceMin := flag.Int("trace-min", 0, "exit nonzero unless at least this many traces converged (implies -trace)")
 	flag.Parse()
+	if *traceMin > 0 {
+		*traceFlag = true
+	}
 
 	kinds := map[string]experiments.WorkloadKind{
 		"stride":    experiments.WorkloadStride,
@@ -68,7 +75,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	l, cleanup, err := experiments.SchemeLab(sch, *seed)
+	var tracer *trace.Tracer
+	if *traceFlag {
+		tracer = trace.New(256)
+	}
+	l, cleanup, err := experiments.SchemeLabWith(sch, *seed, func(opts *lab.Options) {
+		opts.Tracer = tracer
+		if tracer != nil {
+			opts.TraceDump = os.Stderr
+		}
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -117,6 +133,15 @@ func main() {
 	if c := l.Ctrl; c != nil {
 		fmt.Printf("routing plane: epoch %d committed, %d ARP reroutes, %d OpenFlow reroutes\n",
 			c.RoutingStore().Epoch(), c.ARPReroutes, c.OFReroutes)
+	}
+	if tracer != nil {
+		tracer.FlushOpen() // spans still awaiting convergence → orphaned
+		fmt.Println()
+		tracer.WriteBreakdown(os.Stdout)
+		if n := int(tracer.Converged.Value()); n < *traceMin {
+			fmt.Fprintf(os.Stderr, "trace-min: %d converged traces, need %d\n", n, *traceMin)
+			os.Exit(1)
+		}
 	}
 }
 

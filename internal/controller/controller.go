@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"planck/internal/core"
+	"planck/internal/obs/trace"
 	"planck/internal/packet"
 	"planck/internal/routing"
 	"planck/internal/sim"
@@ -87,6 +88,12 @@ type Controller struct {
 	Events      int64
 
 	met *ctrlMetrics
+
+	// trc, when set, records control-loop spans; curCause is the ID of
+	// the event currently being fanned out, so reroutes committed from
+	// inside a subscriber are attributed to the event that caused them.
+	trc      *trace.Tracer
+	curCause uint64
 }
 
 // New creates a controller over an assembled simulated data plane. The
@@ -161,6 +168,11 @@ func (c *Controller) AttachCollector(s int, col *core.Collector) {
 // so a restarted collector resynchronizes by construction.
 func (c *Controller) Mapper(s int) core.PortMapper { return routing.NewView(c.store, s) }
 
+// SetTracer attaches a control-loop tracer: DeliverEvent marks
+// delivery and establishes cause context, reroute records decisions
+// and actuations against the causing event's span.
+func (c *Controller) SetTracer(tr *trace.Tracer) { c.trc = tr }
+
 // DeliverEvent accepts one congestion event into the controller: it is
 // counted and fanned out to subscribers. Direct-attached collectors
 // call it synchronously; supervised collectors route events through a
@@ -168,6 +180,17 @@ func (c *Controller) Mapper(s int) core.PortMapper { return routing.NewView(c.st
 // silent loss.
 func (c *Controller) DeliverEvent(ev core.CongestionEvent) {
 	c.Events++
+	traced := c.trc != nil && ev.ID != 0
+	if traced {
+		c.trc.MarkDelivered(ev.ID, c.eng.Now())
+		prev := c.curCause
+		c.curCause = ev.ID
+		defer func() {
+			c.curCause = prev
+			// If no subscriber committed a reroute, the span ends here.
+			c.trc.FinishCause(ev.ID)
+		}()
+	}
 	for _, fn := range c.subs {
 		fn(ev)
 	}
@@ -251,10 +274,38 @@ func (c *Controller) reroute(now units.Time, flow packet.FlowKey, srcHost, dstHo
 			tx.SetFlowTree(flow, srcHost, dstHost, tree)
 		}
 	})
-	for _, ch := range snap.DiffFrom(prev) {
+	diff := snap.DiffFrom(prev)
+
+	// Attribute the decision to the event being fanned out, if any
+	// (reroutes from TE's periodic view refresh have no cause and are
+	// untraced). Only the causing span's first decision claims it; the
+	// actuation callbacks below then feed its actuation stage.
+	var traceID uint64
+	if c.trc != nil && c.curCause != 0 {
+		dec := trace.Decision{
+			EpochNew: snap.Epoch(),
+			ViaARP:   viaARP,
+			Flow:     flow,
+			NewMAC:   topo.ShadowMAC(dstHost, tree),
+			SrcHost:  srcHost, DstHost: dstHost, Tree: tree,
+			Changes: len(diff),
+		}
+		if viaARP {
+			// Pair moves carry no 5-tuple; convergence matches on the
+			// src/dst pair plus the new shadow-MAC label.
+			dec.Flow = packet.FlowKey{SrcIP: topo.HostIP(srcHost), DstIP: topo.HostIP(dstHost)}
+		}
+		if c.trc.MarkDecided(c.curCause, now, dec) {
+			traceID = c.curCause
+		}
+	}
+	for _, ch := range diff {
 		ch := ch
 		c.eng.Schedule(at, sim.Callback(func(fire units.Time) {
 			c.act.Apply(fire, ch)
+			if traceID != 0 {
+				c.trc.MarkActuated(traceID, fire)
+			}
 		}), nil)
 	}
 }

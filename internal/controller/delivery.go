@@ -7,6 +7,7 @@ import (
 
 	"planck/internal/core"
 	"planck/internal/obs"
+	"planck/internal/obs/trace"
 	"planck/internal/sim"
 	"planck/internal/units"
 )
@@ -118,6 +119,10 @@ type Deliverer struct {
 	// Metrics may be read at any time.
 	Metrics DeliveryMetrics
 
+	// Tracer, when set, records each retry's backoff and terminal
+	// abandonment on the event's control-loop span.
+	Tracer *trace.Tracer
+
 	inFlight int
 }
 
@@ -178,6 +183,9 @@ func (d *Deliverer) Deliver(now units.Time, ev core.CongestionEvent) {
 func (d *Deliverer) attempt(now units.Time, ev core.CongestionEvent, n int) {
 	if d.cancelled() {
 		d.Metrics.Abandoned.Inc()
+		if d.Tracer != nil {
+			d.Tracer.Drop(ev.ID, trace.OutcomeAbandoned)
+		}
 		return
 	}
 	err := d.send(now, ev)
@@ -187,10 +195,16 @@ func (d *Deliverer) attempt(now units.Time, ev core.CongestionEvent, n int) {
 	}
 	if n >= d.policy.MaxAttempts {
 		d.Metrics.Abandoned.Inc()
+		if d.Tracer != nil {
+			d.Tracer.Drop(ev.ID, trace.OutcomeAbandoned)
+		}
 		return
 	}
 	delay := d.policy.delayFor(n, d.rng)
 	d.Metrics.Retries.Inc()
+	if d.Tracer != nil {
+		d.Tracer.RecordRetry(ev.ID, delay)
+	}
 	if d.Metrics.Backoff != nil {
 		d.Metrics.Backoff.Observe(int64(delay))
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"planck/internal/obs"
+	"planck/internal/obs/trace"
 	"planck/internal/packet"
 	"planck/internal/units"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	// ~6 times per sample; it never affects simulation determinism,
 	// only telemetry.
 	StageTiming bool
+	// Tracer, when non-nil, assigns control-loop trace IDs to emitted
+	// congestion events and opens causal spans for them
+	// (internal/obs/trace). The sample hot path never touches it; the
+	// only ingest-reachable probe is one branch plus one atomic load in
+	// remapFlowAt, which runs on label/epoch changes only.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -123,6 +130,10 @@ type CongestionEvent struct {
 	Util       units.Rate
 	Capacity   units.Rate
 	Flows      []FlowInfo
+	// ID is the control-loop trace ID, monotonically assigned by the
+	// configured Tracer at emit time (serial path) or by the merger's
+	// in-order replay (sharded path). Zero when tracing is off.
+	ID uint64
 }
 
 // Stats aggregates collector counters. It is a snapshot view over the
@@ -536,6 +547,11 @@ func (c *Collector) remapFlowAt(t units.Time, f *FlowState) {
 	if r := c.resolver; r != nil {
 		p, epoch, ok := r.ResolveOutput(t, f.Key, f.DstMAC)
 		f.routeEpoch = epoch
+		if c.cfg.Tracer != nil {
+			// Convergence probe: one atomic load inside unless a
+			// control-loop span is watching for its re-converged route.
+			c.cfg.Tracer.NoteResolve(t, f.Key, f.DstMAC, epoch)
+		}
 		if ok {
 			newPort = p
 		} else {
@@ -603,6 +619,13 @@ func (c *Collector) checkCongestion(t units.Time, f *FlowState) {
 		Util:       util,
 		Capacity:   c.cfg.LinkRate,
 		Flows:      c.FlowsOnPort(p),
+	}
+	if tr := c.cfg.Tracer; tr != nil {
+		// The trace is born here: stamped with the triggering flow's
+		// resolving epoch; the capture timestamp is back-dated by the
+		// capture stack's StampCapture after the batch.
+		ev.ID = tr.NextID()
+		tr.Begin(ev.ID, t, c.cfg.SwitchName, p, f.routeEpoch, util, c.cfg.LinkRate)
 	}
 	c.met.events.IncRelaxed()
 	for _, fn := range c.subs {

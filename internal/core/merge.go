@@ -222,14 +222,18 @@ func (m *merger) apply(r *outRec) {
 		m.notices = append(m.notices, notice{t: r.t, key: r.key, kind: BoundaryKind(r.boundary - 1)})
 	}
 	if r.updated {
-		m.checkCongestion(r.t, int(r.port))
+		m.checkCongestion(r.t, int(r.port), r.epoch)
 	}
 }
 
 // checkCongestion is Collector.checkCongestion transplanted onto the
 // view: same early-outs, same threshold comparison, same cooldown
-// arithmetic, same event payload.
-func (m *merger) checkCongestion(t units.Time, p int) {
+// arithmetic, same event payload. epoch is the triggering sample's
+// resolving routing epoch, carried across the shard boundary on its
+// record. Trace IDs are assigned here — on the merger's in-order
+// replay — so the sharded pipeline hands out the same monotone ID
+// stream the serial collector would.
+func (m *merger) checkCongestion(t units.Time, p int, epoch uint64) {
 	if p < 0 || p >= len(m.view.portFlows) || len(m.subs) == 0 {
 		return
 	}
@@ -248,6 +252,12 @@ func (m *merger) checkCongestion(t units.Time, p int) {
 		Util:       util,
 		Capacity:   m.sc.cfg.LinkRate,
 		Flows:      m.view.flowsOnPort(p, m.sc.cfg.FlowFreshness),
+	}
+	if tr := m.sc.cfg.Tracer; tr != nil {
+		// Begin takes only the tracer's own mutex; it never calls back
+		// into the collector, so holding the view lock here is safe.
+		ev.ID = tr.NextID()
+		tr.Begin(ev.ID, t, m.sc.cfg.SwitchName, p, epoch, util, m.sc.cfg.LinkRate)
 	}
 	m.events.Inc()
 	m.notices = append(m.notices, notice{ev: ev})

@@ -150,6 +150,7 @@ type outRec struct {
 	key      packet.FlowKey
 	dstMAC   packet.MAC
 	rate     units.Rate
+	epoch    uint64 // routing epoch the sample resolved through
 	id       int32
 	port     int32
 	kind     uint8
@@ -688,6 +689,7 @@ func (w *shardWorker) process(t units.Time, frame []byte, seq, h uint64, rec *ou
 	rec.key = key
 	rec.dstMAC = f.DstMAC
 	rec.port = int32(f.outPort)
+	rec.epoch = f.routeEpoch
 	rec.rate, rec.rateOk = f.Rate()
 	rec.updated = c.met.rateUpdates.Value() > ruBefore
 	if len(w.rb.recs) == cap(w.rb.recs) {

@@ -100,17 +100,33 @@ var AllSchemes = []Scheme{SchemeStatic, SchemePoll1s, SchemePoll01s, SchemePlanc
 // everything except Optimal, which runs all 16 hosts on one non-blocking
 // switch (§7.1). The returned cleanup stops any pollers.
 func SchemeLab(scheme Scheme, seed int64) (*lab.Lab, func(), error) {
+	return SchemeLabWith(scheme, seed, nil)
+}
+
+// SchemeLabWith is SchemeLab with a hook that may adjust the lab
+// options before construction — the seam tools use to attach a
+// control-loop tracer or other observers without forking the
+// experiment configuration.
+func SchemeLabWith(scheme Scheme, seed int64, adjust func(*lab.Options)) (*lab.Lab, func(), error) {
 	if scheme == SchemeOptimal {
 		net := topo.SingleSwitch("optimal", 16, units.Rate10G, false)
-		l, err := lab.New(lab.Options{Net: net, Seed: seed})
+		opts := lab.Options{Net: net, Seed: seed}
+		if adjust != nil {
+			adjust(&opts)
+		}
+		l, err := lab.New(opts)
 		return l, func() {}, err
 	}
 	net := topo.FatTree16(units.Rate10G)
-	l, err := lab.New(lab.Options{
+	opts := lab.Options{
 		Net:    net,
 		Mirror: scheme == SchemePlanckTE,
 		Seed:   seed,
-	})
+	}
+	if adjust != nil {
+		adjust(&opts)
+	}
+	l, err := lab.New(opts)
 	if err != nil {
 		return nil, nil, err
 	}

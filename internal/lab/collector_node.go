@@ -6,6 +6,7 @@ import (
 	"planck/internal/core"
 	"planck/internal/faults"
 	"planck/internal/obs"
+	"planck/internal/obs/trace"
 	"planck/internal/sim"
 	"planck/internal/switchsim"
 	"planck/internal/units"
@@ -88,6 +89,11 @@ type CollectorNode struct {
 	// merger-queued events here, so event handling happens-after the
 	// batch without racing the engine.
 	OnBatchEnd func(now units.Time)
+
+	// Tracer, when set, receives the capture timestamp of each
+	// delivered batch (the earliest sample's sender stamp), back-dating
+	// the SampleAt of any control-loop spans the batch's ingest opened.
+	Tracer *trace.Tracer
 
 	// IngestErrors counts frames the collector rejected.
 	IngestErrors int64
@@ -307,6 +313,13 @@ func (n *CollectorNode) AttachInSwitch(sw *switchsim.Switch) {
 		if n.sharded != nil {
 			n.sharded.Flush()
 		}
+		if n.Tracer != nil {
+			capAt := pkt.SentAt
+			if capAt == 0 {
+				capAt = now
+			}
+			n.Tracer.StampCapture(capAt)
+		}
 		if n.delivered > before {
 			n.lastDelivery = now
 		}
@@ -353,6 +366,17 @@ func (n *CollectorNode) deliver(now units.Time) {
 	}
 	before := n.delivered
 	at := now.Add(n.overhead)
+	var capAt units.Time
+	if n.Tracer != nil {
+		// The earliest sender stamp in the batch approximates the
+		// capture time of whichever sample triggers an event during this
+		// ingest (overestimating detection by at most one poll).
+		for _, pkt := range n.pending {
+			if pkt.SentAt > 0 && (capAt == 0 || pkt.SentAt < capAt) {
+				capAt = pkt.SentAt
+			}
+		}
+	}
 	if n.flt == nil {
 		// Fault-free path: one IngestBatch per poll tick.
 		n.deliverBatch(at, n.pending)
@@ -374,6 +398,14 @@ func (n *CollectorNode) deliver(now units.Time) {
 	// deterministic (callbacks execute while the engine is parked).
 	if n.sharded != nil {
 		n.sharded.Flush()
+	}
+	if n.Tracer != nil {
+		// After the flush: sharded births complete before Flush returns,
+		// serial births are synchronous inside IngestBatch.
+		if capAt == 0 {
+			capAt = at
+		}
+		n.Tracer.StampCapture(capAt)
 	}
 	if n.delivered > before {
 		n.lastDelivery = now

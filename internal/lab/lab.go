@@ -7,12 +7,14 @@ package lab
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"planck/internal/controller"
 	"planck/internal/core"
 	"planck/internal/faults"
 	"planck/internal/obs"
+	"planck/internal/obs/trace"
 	"planck/internal/sim"
 	"planck/internal/switchsim"
 	"planck/internal/tcpsim"
@@ -75,6 +77,15 @@ type Options struct {
 	// the paper shows wider jitter: ~300 µs polls).
 	PollInterval units.Duration
 	PollOverhead units.Duration
+	// Tracer, when non-nil, records control-loop spans end to end:
+	// every collector assigns event IDs through it, the controller
+	// marks decisions and actuations, supervisors mark queueing and
+	// drops, and its /debug/traces endpoints are mounted on Metrics.
+	Tracer *trace.Tracer
+	// TraceDump, when set alongside Tracer, receives an automatic
+	// flight-recorder dump whenever a supervised feed goes dark or a
+	// collector crash is restarted.
+	TraceDump io.Writer
 	// Seed drives all randomness in the testbed.
 	Seed int64
 }
@@ -199,6 +210,10 @@ func New(opts Options) (*Lab, error) {
 	}
 	l.Ctrl = controller.New(eng, net, l.Switches, l.Hosts, ccfg, rng)
 	l.Ctrl.RegisterMetrics(l.Metrics)
+	if opts.Tracer != nil {
+		l.Ctrl.SetTracer(opts.Tracer)
+		opts.Tracer.RegisterMetrics(l.Metrics)
+	}
 	trees := opts.InitialTrees
 	if trees == nil {
 		trees = make([]int, net.NumHosts())
@@ -219,6 +234,10 @@ func New(opts Options) (*Lab, error) {
 			ccfg.NumPorts = len(net.Ports[s])
 			ccfg.LinkRate = net.LineRate
 			ccfg.Metrics = l.Metrics
+			// The tracer rides in the stored config, so supervisor
+			// restarts rebuild replacement collectors with the same ID
+			// source and the ID stream stays monotone across crashes.
+			ccfg.Tracer = opts.Tracer
 			l.collectorCfgs[s] = ccfg
 			var node *CollectorNode
 			if opts.CollectorShards > 0 {
@@ -232,6 +251,7 @@ func New(opts Options) (*Lab, error) {
 			} else {
 				node = NewCollectorNode(eng, core.New(ccfg), net.LineRate, opts.PollInterval, opts.PollOverhead)
 			}
+			node.Tracer = opts.Tracer
 			node.RegisterMetrics(l.Metrics, ccfg.SwitchName)
 			if opts.InSwitchCollectors {
 				node.AttachInSwitch(l.Switches[s])

@@ -2,12 +2,14 @@ package lab
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 
 	"planck/internal/controller"
 	"planck/internal/core"
 	"planck/internal/obs"
+	"planck/internal/obs/trace"
 	"planck/internal/packet"
 	"planck/internal/sflow"
 	"planck/internal/sim"
@@ -144,6 +146,7 @@ func newSupervisor(l *Lab, s int, node *CollectorNode, cfg SupervisorConfig) *Su
 		return nil
 	}
 	sup.del = controller.NewSimDeliverer(l.Eng, cfg.Backoff, cfg.Seed, send, nil)
+	sup.del.Tracer = l.opts.Tracer
 
 	// Graceful-degradation estimator: sFlow-style sampling chained onto
 	// the switch's delivery hook with a supervisor-private PRNG.
@@ -198,16 +201,26 @@ func (sup *Supervisor) drainEvents(now units.Time) {
 	q := sup.evQ
 	sup.evQ = nil
 	sup.evMu.Unlock()
+	tr := sup.lab.opts.Tracer
 	for _, e := range q {
 		if e.gen != sup.gen {
 			sup.StaleEvents.Inc()
+			if tr != nil {
+				tr.Drop(e.ev.ID, trace.OutcomeDroppedStale)
+			}
 			continue
 		}
 		if last, ok := sup.cooldowns[e.ev.Port]; ok && e.ev.Time.Sub(last) < sup.cooldown {
 			sup.Duplicates.Inc()
+			if tr != nil {
+				tr.Drop(e.ev.ID, trace.OutcomeDroppedDuplicate)
+			}
 			continue
 		}
 		sup.cooldowns[e.ev.Port] = e.ev.Time
+		if tr != nil {
+			tr.MarkQueued(e.ev.ID, now)
+		}
 		sup.del.Deliver(now, e.ev)
 	}
 }
@@ -224,11 +237,23 @@ func (sup *Supervisor) tick(now units.Time) {
 	case core.HeartbeatWentDark:
 		sup.FallbackActive.Set(1)
 		sup.flips = append(sup.flips, HeartbeatFlip{At: now, Dark: true})
+		sup.dumpTraces(now, "feed went dark")
 	case core.HeartbeatRecovered:
 		sup.FallbackActive.Set(0)
 		sup.MissStreak.Observe(int64(streakBefore))
 		sup.flips = append(sup.flips, HeartbeatFlip{At: now, Dark: false})
 	}
+}
+
+// dumpTraces writes the tracer's flight recorder to the lab's TraceDump
+// sink — the automatic black-box dump on monitoring-plane failures.
+func (sup *Supervisor) dumpTraces(now units.Time, what string) {
+	tr, w := sup.lab.opts.Tracer, sup.lab.opts.TraceDump
+	if tr == nil || w == nil {
+		return
+	}
+	tr.Dump(w, fmt.Sprintf("%s on %s at %v",
+		what, sup.lab.Net.SwitchNames[sup.s], now))
 }
 
 // restart builds a replacement collector for the crashed one and
@@ -240,6 +265,7 @@ func (sup *Supervisor) tick(now units.Time) {
 // re-fire inside the cooldown, and a new-generation event tap.
 func (sup *Supervisor) restart() {
 	sup.gen++
+	sup.dumpTraces(sup.lab.Eng.Now(), "collector crash restart")
 	ccfg := sup.lab.collectorCfgs[sup.s]
 	// The first collector registered this switch's instruments; a
 	// duplicate registration would panic, so replacements run bare.

@@ -1,18 +1,45 @@
 package obs
 
 import (
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 )
 
+// Handle mounts h at pattern on every mux Handler() subsequently
+// builds. It lets layered packages (obs/trace's /debug/traces) join
+// the registry's introspection surface. Patterns colliding with the
+// built-in routes panic, same contract as duplicate metric names.
+func (r *Registry) Handle(pattern string, h http.Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch pattern {
+	case "/metrics", "/debug/vars", "/debug/pprof/":
+		panic(fmt.Sprintf("obs: pattern %q shadows a built-in route", pattern))
+	}
+	if r.extras == nil {
+		r.extras = make(map[string]http.Handler)
+	}
+	if _, dup := r.extras[pattern]; dup {
+		panic(fmt.Sprintf("obs: duplicate HTTP pattern %q", pattern))
+	}
+	r.extras[pattern] = h
+}
+
 // Handler returns the registry's live-introspection mux:
 //
-//	/metrics      Prometheus text exposition
-//	/debug/vars   expvar-style JSON snapshot
-//	/debug/pprof  the standard net/http/pprof endpoints
+//	/metrics        Prometheus text exposition
+//	/debug/vars     expvar-style JSON snapshot
+//	/debug/pprof    the standard net/http/pprof endpoints
+//	plus any routes added with Handle
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
+	r.mu.RLock()
+	for pattern, h := range r.extras {
+		mux.Handle(pattern, h)
+	}
+	r.mu.RUnlock()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		r.WritePrometheus(w)

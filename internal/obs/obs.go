@@ -27,6 +27,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -67,6 +68,12 @@ type Registry struct {
 	mu      sync.RWMutex
 	entries []*entry
 	byName  map[string]*entry
+
+	// extras are additional HTTP handlers mounted by Handler(), keyed
+	// by mux pattern — the seam packages layered on obs (e.g.
+	// obs/trace's /debug/traces endpoints) use to join the registry's
+	// introspection mux without an import cycle.
+	extras map[string]http.Handler
 }
 
 // NewRegistry returns an empty registry.

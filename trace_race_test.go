@@ -1,0 +1,153 @@
+package planck
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"planck/internal/obs"
+	"planck/internal/obs/trace"
+	"planck/internal/packet"
+	"planck/internal/routing"
+	"planck/internal/topo"
+)
+
+// TestTraceEndpointsDuringBatchedIngest hammers the observability HTTP
+// surface — Prometheus /metrics, /debug/vars, and the flight recorder's
+// /debug/traces and /debug/traces/summary — while ServeUDPBatched drives
+// a congested 9.5 Gbps stream through a traced collector whose
+// subscriber walks spans through the full control loop, including epoch
+// commits that converge armed watches. Run under -race this proves the
+// tracer and registry read paths are safe against the ingest hot path.
+func TestTraceEndpointsDuringBatchedIngest(t *testing.T) {
+	const (
+		total      = 40000
+		payload    = 256
+		spacing    = 215 // ns between samples ≈ 9.5 Gbps at 256B payload
+		commitEach = 3   // every 3rd event commits a new epoch
+	)
+
+	net := topo.FatTree16(10 * Gbps)
+	st := routing.NewStore(net)
+	st.Commit(0, nil)
+
+	reg := obs.NewRegistry()
+	tracer := trace.New(256)
+	tracer.RegisterMetrics(reg)
+
+	col := NewCollector(CollectorConfig{
+		SwitchName:    "race",
+		NumPorts:      8,
+		LinkRate:      10 * Gbps,
+		UtilThreshold: 0.01,
+		Metrics:       reg,
+		Tracer:        tracer,
+	})
+	col.SetPortMapper(routing.NewView(st, net.Hosts[1].Switch))
+
+	// The subscriber plays controller: deliver every event, and commit a
+	// new routing epoch on every commitEach'th so the collector's next
+	// sync re-resolves the flow and NoteResolve converges the watch.
+	key := packet.FlowKey{
+		SrcIP: topo.HostIP(0), DstIP: topo.HostIP(1),
+		SrcPort: 1000, DstPort: 5001, Proto: packet.IPProtocolTCP,
+	}
+	label := topo.ShadowMAC(1, 0)
+	events := 0
+	col.Subscribe(func(ev CongestionEvent) {
+		events++
+		tracer.MarkQueued(ev.ID, ev.Time)
+		tracer.MarkDelivered(ev.ID, ev.Time)
+		if events%commitEach != 0 {
+			tracer.FinishCause(ev.ID)
+			return
+		}
+		snap := st.Commit(ev.Time, nil)
+		if tracer.MarkDecided(ev.ID, ev.Time, trace.Decision{
+			EpochNew: snap.Epoch(), Flow: key, NewMAC: label, Changes: 1,
+		}) {
+			tracer.MarkActuated(ev.ID, ev.Time)
+		}
+	})
+
+	dgrams := make([][]byte, total)
+	var tm Time
+	var seq uint32
+	for i := range dgrams {
+		frame := packet.BuildTCP(nil, packet.TCPSpec{
+			SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: label,
+			SrcIP: key.SrcIP, DstIP: key.DstIP,
+			SrcPort: key.SrcPort, DstPort: key.DstPort,
+			Seq: seq, Flags: packet.TCPAck, PayloadLen: payload,
+		})
+		dgrams[i] = EncodeSample(nil, tm, frame)
+		tm = tm.Add(Duration(spacing))
+		seq += payload
+	}
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	endpoints := []string{"/metrics", "/debug/vars", "/debug/traces", "/debug/traces/summary"}
+	for _, ep := range endpoints {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("GET %s: %v", url, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || len(body) == 0 {
+					t.Errorf("GET %s: status %d, %d bytes", url, resp.StatusCode, len(body))
+					return
+				}
+			}
+		}(srv.URL + ep)
+	}
+
+	var udpStats UDPServeStats
+	n, err := ServeUDPBatched(&memPacketConn{dgrams: dgrams}, col, total, 32, &udpStats)
+	close(done)
+	wg.Wait()
+	if err != nil || n != total {
+		t.Fatalf("ServeUDPBatched = (%d, %v), want (%d, nil)", n, err, total)
+	}
+	if s := col.Stats(); s.UnmappedOutput != 0 {
+		t.Fatalf("%d unmapped samples; the shadow-MAC label must resolve", s.UnmappedOutput)
+	}
+	if events == 0 {
+		t.Fatal("no congestion events fired; the stream must cross the threshold")
+	}
+	if got := tracer.Completed.Value(); got == 0 {
+		t.Fatal("no spans completed")
+	}
+	if got := tracer.Converged.Value(); got == 0 {
+		t.Fatal("no spans converged; epoch commits must re-resolve the flow")
+	}
+	for _, s := range append(tracer.Recorder().Snapshot(), tracer.ConvergedSpans()...) {
+		if s.Outcome == trace.OutcomeConverged {
+			if !s.Complete() {
+				t.Fatalf("converged span missing stages: %+v", s)
+			}
+			if s.EpochNew <= s.EpochOld {
+				t.Fatalf("converged span epochs %d→%d not advancing", s.EpochOld, s.EpochNew)
+			}
+		}
+	}
+	if tm := tracer.ActiveCount(); tm > 1 {
+		t.Errorf("%d spans left open (at most the last in-flight event may remain)", tm)
+	}
+}
