@@ -5,7 +5,7 @@ GO ?= go
 # offline machines with a cold cache.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke trace-smoke staticcheck check bench bench-obs bench-shard bench-ingest bench-route bench-trace bench-gate clean
+.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke trace-smoke fleet-smoke staticcheck check bench bench-obs bench-shard bench-ingest bench-route bench-trace bench-fleet bench-gate clean
 
 all: check
 
@@ -25,7 +25,7 @@ test: vet
 # registry under concurrent observe/serve, the UDP transport) plus the
 # hot-path packages, in under a minute.
 race-fast: vet
-	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/counters/ ./internal/sim/ ./internal/packet/ ./internal/lab/ ./internal/routing/ .
+	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/counters/ ./internal/sim/ ./internal/packet/ ./internal/lab/ ./internal/routing/ ./internal/agg/ .
 
 # The experiments suite runs ~7 min uninstrumented; give the race
 # build room beyond go test's 10-minute default.
@@ -40,6 +40,7 @@ fuzz-smoke: vet
 	$(GO) test -run xxx -fuzz FuzzIngest -fuzztime 10s ./internal/core/
 	$(GO) test -run xxx -fuzz FuzzParseSpec -fuzztime 10s ./internal/faults/
 	$(GO) test -run xxx -fuzz FuzzTreeOfMAC -fuzztime 10s ./internal/topo/
+	$(GO) test -run xxx -fuzz FuzzAggregateMerge -fuzztime 10s ./internal/agg/
 
 # chaos-smoke runs the fault-injection suite and the supervised
 # control-loop chaos scenario (loss blackout + crash + partition)
@@ -55,6 +56,14 @@ chaos-smoke: vet
 # convergence) and its stage durations sum to its wall time.
 trace-smoke: vet
 	$(GO) run ./cmd/planck-sim -size 20MiB -seed 1 -trace-min 1 > /dev/null
+
+# fleet-smoke runs the k=8 fat tree (128 hosts, 80 switches) as a
+# collector fleet behind the federated aggregation plane, with PlanckTE
+# consuming the plane's merged view, and fails unless every flow
+# completes and every pod closes at least one full
+# detection→convergence control loop.
+fleet-smoke: vet
+	$(GO) run ./cmd/planck-scale -run -k 8 -seed 7 > /dev/null
 
 # staticcheck runs the pinned honnef.co/go/tools linter. Preference
 # order: an installed binary, then `go run` against the local module
@@ -74,7 +83,7 @@ staticcheck:
 # check is the tier-1 gate: everything must compile, vet clean, lint
 # clean (where staticcheck is available), pass, and hold the committed
 # ingest hot-path budget.
-check: vet build test race-fast staticcheck trace-smoke bench-gate
+check: vet build test race-fast staticcheck trace-smoke fleet-smoke bench-gate
 
 # bench runs the per-figure testing.B targets once each.
 bench: vet
@@ -113,16 +122,25 @@ bench-route: vet
 bench-trace: vet
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -trace-json BENCH_trace.json
 
+# bench-fleet measures the aggregation plane into BENCH_fleet.json:
+# per-sample merge and detect-under-cooldown (both self-gated to
+# 0 allocs/op — they run once per mirrored sample at fleet scale) and
+# the merger's ordered event emit path.
+bench-fleet: vet
+	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -fleet-json BENCH_fleet.json
+
 # bench-gate re-measures ingest_serial and fails if it regressed more
 # than 5% against the committed BENCH_ingest.json baseline, then runs
 # the routing-plane self-gates (view rows 0 allocs/op, ingest_view
-# within +5% of same-run ingest_serial) and the tracer's idle-overhead
-# self-gate (traced ingest 0 allocs/op, within +2% of bare).
+# within +5% of same-run ingest_serial), the tracer's idle-overhead
+# self-gate (traced ingest 0 allocs/op, within +2% of bare), and the
+# aggregation plane's per-sample 0 allocs/op self-gate.
 bench-gate: vet
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -ingest-json - -gate-against BENCH_ingest.json
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -route-json -
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -trace-json -
+	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -fleet-json -
 
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_route.json BENCH_trace.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_route.json BENCH_trace.json BENCH_fleet.json
 	$(GO) clean ./...

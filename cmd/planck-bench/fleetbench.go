@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"planck/internal/agg"
+	"planck/internal/core"
+	"planck/internal/packet"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// fleetBenchReport is BENCH_fleet.json: the aggregation plane's cost
+// model. agg_merge_update is the plane's per-sample price — one vantage
+// report folded into the merged flow view — and agg_merge_detect_suppressed
+// adds the congestion check on a link inside cooldown; both run once per
+// mirrored sample at fleet scale, so both must stay allocation-free.
+// agg_event_offer_emit is the merger's ordered emit path, which runs
+// only per congestion event and is reported without an alloc gate.
+type fleetBenchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Rows       []obsBenchRow `json:"rows"`
+}
+
+// runFleetBench measures the aggregation plane and writes the rows as
+// JSON to path ("-" for stdout). Self-gates: the two per-sample rows
+// must be 0 allocs/op.
+func runFleetBench(path string) error {
+	rep := fleetBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	rows := map[string]obsBenchRow{}
+	add := func(name string, r testing.BenchmarkResult) {
+		row := obsBenchRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		rep.Rows = append(rep.Rows, row)
+		rows[name] = row
+		fmt.Fprintf(os.Stderr, "%-32s %10.1f ns/op %6d allocs/op\n",
+			name, row.NsPerOp, row.AllocsPerOp)
+	}
+
+	add("agg_merge_update", testing.Benchmark(benchAggMergeUpdate))
+	add("agg_merge_detect_suppressed", testing.Benchmark(benchAggMergeDetectSuppressed))
+	add("agg_event_offer_emit", testing.Benchmark(benchAggEventOfferEmit))
+
+	if path != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if path == "-" {
+			if _, err := os.Stdout.Write(out); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+	}
+
+	for _, name := range []string{"agg_merge_update", "agg_merge_detect_suppressed"} {
+		if r := rows[name]; r.AllocsPerOp != 0 {
+			return fmt.Errorf("fleet bench: %s allocates (%d allocs/op); the per-sample merge path must be allocation-free", name, r.AllocsPerOp)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "fleet bench: per-sample merge rows allocation-free")
+	return nil
+}
+
+// fleetBenchFlows builds nFlows resident FlowState records with a real
+// rate estimate of about perFlow each, primes them into the vantage at
+// t0, and returns them. All land on egress port 0 — one hot link.
+func fleetBenchFlows(v *agg.Vantage, nFlows int, perFlow int64, t0 units.Time) []*core.FlowState {
+	flows := make([]*core.FlowState, nFlows)
+	for i := range flows {
+		f := &core.FlowState{Key: packet.FlowKey{
+			SrcIP: topo.HostIP(0), DstIP: topo.HostIP(8),
+			SrcPort: uint16(1000 + i), DstPort: 5001,
+			Proto: packet.IPProtocolTCP,
+		}}
+		f.Est = *core.NewRateEstimator()
+		// Two samples one 300 µs window apart yield rate = perFlow bytes
+		// per 300 µs, giving the bench full control of the link's load.
+		f.Est.Observe(0, 0)
+		f.Est.Observe(units.Time(300*units.Microsecond), uint32(perFlow))
+		flows[i] = f
+		v.FlowSample(t0, f, false)
+	}
+	return flows
+}
+
+// benchAggMergeUpdate measures the plane's steady state: one vantage
+// report for a resident flow — map hit, freshness/rate/provenance
+// update, no port move, no detection (the sample did not close a rate
+// window). This is the price every mirrored sample pays at fleet scale.
+func benchAggMergeUpdate(b *testing.B) {
+	const nFlows = 64
+	p := agg.New(agg.Config{})
+	v := p.Join(0, "bench", 8, units.Rate10G)
+	t := units.Time(units.Millisecond)
+	flows := fleetBenchFlows(v, nFlows, 1500, t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.FlowSample(t, flows[i%nFlows], false)
+		t = t.Add(units.Duration(123))
+	}
+	b.StopTimer()
+	if p.FlowCount() != nFlows {
+		b.Fatalf("flow count %d, want %d", p.FlowCount(), nFlows)
+	}
+}
+
+// benchAggMergeDetectSuppressed adds plane-side congestion detection on
+// a link held inside cooldown: the utilization sum over the port's 64
+// fresh flows plus the merger's allocation-free Suppressed pre-check.
+// This is the worst-case per-sample path on a persistently hot link —
+// the first candidate emits one real event, every later one is
+// suppressed without building a flow snapshot.
+func benchAggMergeDetectSuppressed(b *testing.B) {
+	const nFlows = 64
+	p := agg.New(agg.Config{})
+	v := p.Join(0, "bench", 8, units.Rate10G)
+	events := 0
+	p.Subscribe(func(core.CongestionEvent) { events++ })
+	// 375 kB per 300 µs window ≈ 10 Gbps per flow: the port is far over
+	// threshold, so every rate-updating sample is a congestion candidate.
+	t := units.Time(units.Millisecond)
+	flows := fleetBenchFlows(v, nFlows, 375_000, t)
+	// Prime the cooldown: the first candidate emits a real event and
+	// anchors the link, so the timed loop measures the suppressed path.
+	v.FlowSample(t, flows[0], true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.FlowSample(t, flows[i%nFlows], true)
+		// Advance 1 ns per op: candidates stay inside the 250 µs cooldown
+		// and the Suppressed pre-check handles (nearly) every iteration.
+		t = t.Add(units.Duration(1))
+	}
+	b.StopTimer()
+	if events == 0 {
+		b.Fatal("no event emitted; the detect path never fired and the bench is vacuous")
+	}
+	if p.SuppressedCandidates() == 0 {
+		b.Fatal("no candidate suppressed; the bench is not measuring the cooldown pre-check")
+	}
+}
+
+// benchAggEventOfferEmit measures the merger's ordered emit path: Offer
+// plus a synchronous AdvanceTo, alternating two links spaced past the
+// cooldown so every candidate is emitted in stream order. Runs once per
+// congestion event, not per sample, so it is reported but not
+// alloc-gated (events carry a flow snapshot in real use anyway).
+func benchAggEventOfferEmit(b *testing.B) {
+	cooldown := 250 * units.Microsecond
+	emitted := 0
+	m := agg.NewEventMerger(cooldown, func(core.CongestionEvent) { emitted++ })
+	links := [2]agg.LinkKey{{Switch: 1, Port: 2}, {Switch: 3, Port: 4}}
+	var t units.Time
+	var seq uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq++
+		m.Offer(links[i&1], agg.VantageID(1+i&1), seq, core.CongestionEvent{
+			Time: t, SwitchName: "bench", Port: int(links[i&1].Port),
+			Util: units.Rate10G, Capacity: units.Rate10G,
+		})
+		m.AdvanceTo(t)
+		t = t.Add(units.Duration(cooldown))
+	}
+	b.StopTimer()
+	if emitted != b.N {
+		b.Fatalf("emitted %d of %d offers; expected the spaced stream to emit every candidate", emitted, b.N)
+	}
+}

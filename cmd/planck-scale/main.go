@@ -1,15 +1,18 @@
 // Command planck-scale prints the §9.1 deployment-cost table and lets
 // operators explore other switch radixes. With -run it also executes a
-// minimal k=4 fat-tree pass end to end — colliding workload, PlanckTE,
-// control-loop tracing — and prints the trace summary, exiting nonzero
-// unless at least one complete detection→convergence trace was
-// recorded; CI uses this as the scale-pipeline smoke artifact.
+// fleet-scale end-to-end pass: a k-ary fat tree (default k=8, 128
+// hosts) monitored by a fleet of per-mirror-port vantage collectors
+// feeding the federated aggregation plane, PlanckTE consuming the
+// plane's merged network view, a colliding stride workload, and
+// control-loop tracing. It exits nonzero unless every flow completes
+// AND every pod records at least one complete detection→convergence
+// trace — the scale-pipeline smoke artifact CI gates on.
 //
 // Usage:
 //
 //	planck-scale
 //	planck-scale -ports 32 -monitor 2
-//	planck-scale -run -seed 7
+//	planck-scale -run -k 8 -collectors 0 -seed 7
 package main
 
 import (
@@ -21,13 +24,18 @@ import (
 	"planck/internal/lab"
 	"planck/internal/obs/trace"
 	"planck/internal/scale"
+	"planck/internal/te"
+	"planck/internal/topo"
 	"planck/internal/units"
 )
 
 func main() {
 	ports := flag.Int("ports", 0, "explore a custom switch radix (0 = just the paper table)")
 	monitor := flag.Int("monitor", 1, "monitor ports per switch for -ports mode")
-	run := flag.Bool("run", false, "run a minimal k=4 end-to-end traced pass and print its trace summary")
+	run := flag.Bool("run", false, "run a fleet end-to-end traced pass and print its trace summary")
+	k := flag.Int("k", 8, "fat-tree arity for -run (even, >= 4)")
+	collectors := flag.Int("collectors", 0, "vantage collectors for -run, spread round-robin across pods (0 = every switch)")
+	size := flag.Int64("size", 6<<20, "per-flow bytes for -run's stride workload")
 	seed := flag.Int64("seed", 7, "seed for -run")
 	flag.Parse()
 
@@ -41,42 +49,108 @@ func main() {
 	}
 
 	if *run {
-		os.Exit(smoke(*seed))
+		os.Exit(fleetRun(*k, *collectors, *size, *seed))
 	}
 }
 
-// smoke runs the minimal end-to-end pass: the k=4 (16-host) fat tree
-// under PlanckTE with a stride workload whose base-tree collisions
-// force reroutes, tracing every control loop. Returns the process exit
-// code.
-func smoke(seed int64) int {
-	tracer := trace.New(256)
-	l, cleanup, err := experiments.SchemeLabWith(experiments.SchemePlanckTE, seed,
-		func(opts *lab.Options) { opts.Tracer = tracer })
+// pickCollectors chooses n monitored switches round-robin across pods
+// (cores last), so a partial fleet still gives every pod local
+// coverage. n <= 0 selects every switch (nil = no restriction).
+func pickCollectors(net *topo.Network, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	byPod := make([][]int, net.Pods+1)
+	for s := 0; s < net.NumSwitches(); s++ {
+		p := net.PodOfSwitch(s)
+		if p < 0 {
+			p = net.Pods
+		}
+		byPod[p] = append(byPod[p], s)
+	}
+	var out []int
+	for i := 0; len(out) < n; i++ {
+		took := false
+		for p := 0; p < len(byPod) && len(out) < n; p++ {
+			if i < len(byPod[p]) {
+				out = append(out, byPod[p][i])
+				took = true
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	return out
+}
+
+// fleetRun is the end-to-end pass: build the k-ary fat tree as a
+// collector fleet with the aggregation plane, point PlanckTE's network
+// view at the plane, drive the colliding stride workload, and gate on
+// completed flows plus one complete detection→convergence trace per
+// pod. Returns the process exit code.
+func fleetRun(k, collectors int, size, seed int64) int {
+	net := topo.FatTree(k, units.Rate10G)
+	tracer := trace.New(4096)
+	opts := lab.Options{
+		Net:             net,
+		Mirror:          true,
+		Aggregate:       true,
+		MonitorSwitches: pickCollectors(net, collectors),
+		Tracer:          tracer,
+		Seed:            seed,
+	}
+	l, err := lab.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	defer cleanup()
+	tec := te.DefaultPlanckTEConfig()
+	tec.Source = l.Agg
+	te.NewPlanckTE(l.Ctrl, tec)
 
-	res := experiments.RunWorkloadOn(l, experiments.WorkloadStride, 20<<20, seed,
+	res := experiments.RunWorkloadOn(l, experiments.WorkloadStride, size, seed,
 		60*units.Duration(units.Second))
 
-	fmt.Printf("\nk=4 smoke pass: %d/%d flows completed at %v, epoch %d, %d reroutes\n",
-		res.Completed, res.Total, res.FinishedAt,
+	fmt.Printf("\nk=%d fleet pass: %d vantages, %d/%d flows completed at %v, epoch %d, %d reroutes\n",
+		k, l.Agg.Vantages(), res.Completed, res.Total, res.FinishedAt,
 		l.Ctrl.RoutingStore().Epoch(), l.Ctrl.ARPReroutes+l.Ctrl.OFReroutes)
+	m := l.Agg.Merger()
+	fmt.Printf("aggregation plane: %d flows merged, %d events emitted, %d deduped, %d late, %d dup reports, %d stale vantages\n",
+		l.Agg.FlowCount(), m.Emitted, m.Deduped, m.Late, l.Agg.DupReports(), len(l.Agg.StaleVantages()))
 	tracer.FlushOpen()
 	tracer.WriteBreakdown(os.Stdout)
 
 	if res.Completed < res.Total {
-		fmt.Fprintf(os.Stderr, "smoke: only %d/%d flows completed\n", res.Completed, res.Total)
+		fmt.Fprintf(os.Stderr, "fleet: only %d/%d flows completed\n", res.Completed, res.Total)
 		return 1
 	}
+
+	// Per-pod convergence gate: every pod must have closed at least one
+	// full detection→convergence loop through the fleet.
+	swIdx := make(map[string]int, net.NumSwitches())
+	for s, name := range net.SwitchNames {
+		swIdx[name] = s
+	}
+	podDone := make([]int, net.Pods)
 	for _, s := range tracer.ConvergedSpans() {
-		if s.Complete() {
-			return 0
+		if !s.Complete() {
+			continue
+		}
+		if p := net.PodOfSwitch(swIdx[s.Switch]); p >= 0 {
+			podDone[p]++
 		}
 	}
-	fmt.Fprintln(os.Stderr, "smoke: no complete detection→convergence trace recorded")
-	return 1
+	ok := true
+	for p, nDone := range podDone {
+		fmt.Printf("pod %d: %d complete control loops\n", p, nDone)
+		if nDone == 0 {
+			ok = false
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "fleet: some pod closed no complete detection→convergence trace")
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,481 @@
+// Package agg is the federated aggregation plane: the tier that sits
+// between a fleet of per-mirror-port vantage collectors and the
+// controller, merging each collector's partial view of the network into
+// one network-wide picture.
+//
+// Planck's deployment model (§2, §3.1) gives every switch — or every
+// group of switches sharing a mirror port — its own collector. Each
+// collector sees only the flows crossing its vantage, estimates their
+// rates locally, and reports per-flow samples and congestion candidates
+// upward. The plane:
+//
+//   - folds per-flow reports into one record per (switch, flow),
+//     deduplicating overlapping vantages by report time and routing
+//     epoch (the newest report under the newest epoch wins);
+//   - maintains per-switch per-egress-port link utilization with the
+//     same freshness and rate-summing rules core.Collector applies, so
+//     the fleet's aggregate is bit-identical to a hypothetical global
+//     collector's view (the oracle in agg_test.go proves this);
+//   - merges congestion-event candidates from all vantages through an
+//     EventMerger that re-establishes network-wide stream order and
+//     owns the per-link cooldown — so overlapping vantages, epoch skew,
+//     and supervised collector restarts never duplicate an event;
+//   - tracks vantage liveness, flagging collectors that stop reporting
+//     as stale instead of silently serving their frozen flows forever.
+//
+// The plane is driven from the simulation engine goroutine (or any
+// single caller goroutine); it is not internally synchronized, matching
+// the serial core.Collector contract.
+package agg
+
+import (
+	"planck/internal/core"
+	"planck/internal/obs"
+	"planck/internal/obs/trace"
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// Config parameterizes the plane. The zero value takes the collector
+// defaults for the shared thresholds, so a plane and the collectors
+// feeding it agree on what "congested" and "fresh" mean.
+type Config struct {
+	// UtilThreshold, EventCooldown, and FlowFreshness mirror the
+	// core.Config fields of the same names; zero values take the same
+	// defaults, keeping plane-side detection coherent with what a
+	// single global collector would decide.
+	UtilThreshold float64
+	EventCooldown units.Duration
+	FlowFreshness units.Duration
+
+	// StaleAfter is how long a vantage may go without reporting a
+	// sample before Tick flags it stale (crashed, partitioned, or
+	// simply dark). Default 2 ms — a handful of poll intervals.
+	StaleAfter units.Duration
+
+	// ReorderWindow bounds how far out-of-order vantage reports may
+	// arrive. Zero (the default) emits synchronously: every candidate
+	// advances the merge watermark to its own timestamp, which is exact
+	// when vantages report in global time order (the lab's engine
+	// guarantees this). A positive window buffers candidates and lets
+	// Tick emit those older than now−window.
+	ReorderWindow units.Duration
+
+	// Metrics, when non-nil, receives the planck_agg_* instruments.
+	Metrics *obs.Registry
+
+	// Tracer, when non-nil, opens a control-loop span for every merged
+	// event the plane emits (the detection end of the causal trace).
+	Tracer *trace.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	cc := core.Config{}.WithDefaults()
+	if c.UtilThreshold == 0 {
+		c.UtilThreshold = cc.UtilThreshold
+	}
+	if c.EventCooldown == 0 {
+		c.EventCooldown = cc.EventCooldown
+	}
+	if c.FlowFreshness == 0 {
+		c.FlowFreshness = cc.FlowFreshness
+	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 2 * units.Millisecond
+	}
+	return c
+}
+
+// flowAt keys the plane's flow map: one record per flow per monitored
+// switch (the same flow legitimately appears at every hop it crosses).
+type flowAt struct {
+	sw  int32
+	key packet.FlowKey
+}
+
+// aggFlow is the plane's merged record for one flow at one switch:
+// exactly the fields the utilization and event paths read, plus the
+// provenance (vantage, epoch) the cross-vantage dedup needs.
+type aggFlow struct {
+	key      packet.FlowKey
+	sw       *planeSwitch
+	dstMAC   packet.MAC
+	vantage  VantageID // vantage whose report currently owns the record
+	port     int32     // egress port at sw, -1 unknown
+	pos      int32     // position in sw.ports[port], -1 unlisted
+	rateOK   bool
+	rate     units.Rate
+	epoch    uint64 // routing epoch the port was resolved under
+	lastSeen units.Time
+}
+
+// planeSwitch is the plane's per-monitored-switch state: the egress
+// port lists the utilization sum walks.
+type planeSwitch struct {
+	id       int32
+	name     string
+	capacity units.Rate
+	ports    [][]*aggFlow
+}
+
+type planeMetrics struct {
+	updates    obs.Counter // flow reports folded in
+	flows      obs.Gauge   // live merged flow records
+	events     obs.Counter // merged events emitted to subscribers
+	dupReports obs.Counter // overlap reports dropped (older time/epoch)
+	takeovers  obs.Counter // records that changed owning vantage
+	suppressed obs.Counter // candidates skipped by the cooldown pre-check
+	staleVant  obs.Gauge   // vantages currently flagged stale
+	restarts   obs.Counter // vantage Rejoin calls (supervised restarts)
+}
+
+// Plane is the aggregation tier. Build one with New, hand each
+// collector a sink from Join, subscribe the controller with Subscribe,
+// and drive liveness with Tick.
+type Plane struct {
+	cfg      Config
+	vantages []*Vantage
+	switches map[int32]*planeSwitch
+	flows    map[flowAt]*aggFlow
+	merger   *EventMerger
+	subs     []func(ev core.CongestionEvent)
+	now      units.Time
+	met      planeMetrics
+}
+
+// New builds an empty plane.
+func New(cfg Config) *Plane {
+	cfg = cfg.withDefaults()
+	p := &Plane{
+		cfg:      cfg,
+		switches: make(map[int32]*planeSwitch),
+		flows:    make(map[flowAt]*aggFlow),
+	}
+	p.merger = NewEventMerger(cfg.EventCooldown, p.emitMerged)
+	if m := cfg.Metrics; m != nil {
+		m.MustRegister("planck_agg_updates_total", &p.met.updates)
+		m.MustRegister("planck_agg_flows", &p.met.flows)
+		m.MustRegister("planck_agg_events_total", &p.met.events)
+		m.MustRegister("planck_agg_dup_flow_reports_total", &p.met.dupReports)
+		m.MustRegister("planck_agg_flow_takeovers_total", &p.met.takeovers)
+		m.MustRegister("planck_agg_events_suppressed_total", &p.met.suppressed)
+		m.MustRegister("planck_agg_events_deduped_total", obs.GaugeFunc(func() float64 { return float64(p.merger.Deduped) }))
+		m.MustRegister("planck_agg_events_late_total", obs.GaugeFunc(func() float64 { return float64(p.merger.Late) }))
+		m.MustRegister("planck_agg_vantages", obs.GaugeFunc(func() float64 { return float64(len(p.vantages)) }))
+		m.MustRegister("planck_agg_stale_vantages", &p.met.staleVant)
+		m.MustRegister("planck_agg_vantage_restarts_total", &p.met.restarts)
+	}
+	return p
+}
+
+// Join registers a vantage collector monitoring switch sw and returns
+// its sink. Multiple vantages may join the same switch (overlapping
+// mirror coverage); they share the switch's merged flow records. The
+// returned Vantage implements core.AggregationSink — set it as the
+// collector's Config.Sink.
+func (p *Plane) Join(sw int, switchName string, numPorts int, capacity units.Rate) *Vantage {
+	ps := p.switches[int32(sw)]
+	if ps == nil {
+		ps = &planeSwitch{
+			id:       int32(sw),
+			name:     switchName,
+			capacity: capacity,
+			ports:    make([][]*aggFlow, numPorts),
+		}
+		p.switches[int32(sw)] = ps
+	}
+	v := &Vantage{p: p, id: VantageID(len(p.vantages) + 1), sw: ps}
+	p.vantages = append(p.vantages, v)
+	return v
+}
+
+// Subscribe registers fn for merged network-wide congestion events.
+func (p *Plane) Subscribe(fn func(ev core.CongestionEvent)) {
+	p.subs = append(p.subs, fn)
+}
+
+// emitMerged is the merger's output hook: stamp a trace span on the
+// event and fan out to subscribers.
+func (p *Plane) emitMerged(ev core.CongestionEvent) {
+	if tr := p.cfg.Tracer; tr != nil {
+		ev.ID = tr.NextID()
+		tr.Begin(ev.ID, ev.Time, ev.SwitchName, ev.Port, ev.Epoch, ev.Util, ev.Capacity)
+	}
+	p.met.events.Inc()
+	for _, fn := range p.subs {
+		fn(ev)
+	}
+}
+
+// Tick advances plane housekeeping to now: re-evaluates vantage
+// staleness and, with a positive ReorderWindow, releases buffered event
+// candidates older than now−window. Drive it from a periodic ticker.
+func (p *Plane) Tick(now units.Time) {
+	if now > p.now {
+		p.now = now
+	}
+	stale := int64(0)
+	for _, v := range p.vantages {
+		v.stale = now.Sub(v.lastReport) > p.cfg.StaleAfter
+		if v.stale {
+			stale++
+		}
+	}
+	p.met.staleVant.Set(stale)
+	if w := p.cfg.ReorderWindow; w > 0 {
+		p.merger.AdvanceTo(now.Add(-w))
+	}
+}
+
+// Flush drains any buffered event candidates (end of run).
+func (p *Plane) Flush() { p.merger.Flush() }
+
+// ExpireFlows drops merged records idle longer than idle, mirroring
+// core.Collector.ExpireFlows. Returns the number dropped.
+func (p *Plane) ExpireFlows(now units.Time, idle units.Duration) int {
+	n := 0
+	for k, af := range p.flows {
+		if now.Sub(af.lastSeen) > idle {
+			p.moveFlow(af, -1)
+			delete(p.flows, k)
+			n++
+		}
+	}
+	if n > 0 {
+		p.met.flows.Set(int64(len(p.flows)))
+	}
+	return n
+}
+
+// LinkUtilization sums the fresh flow rates merged onto (sw, port) as
+// of the plane's current time — the network-wide answer to the query a
+// single collector answers for its own switch.
+func (p *Plane) LinkUtilization(sw, port int) units.Rate {
+	ps := p.switches[int32(sw)]
+	if ps == nil || port < 0 || port >= len(ps.ports) {
+		return 0
+	}
+	return p.linkUtilAt(ps, int32(port), p.now)
+}
+
+// EachFlow visits every merged flow record with a rate estimate —
+// the te.NetworkSource seam PlanckTE consumes instead of polling
+// per-switch collectors.
+func (p *Plane) EachFlow(fn func(sw int, fi core.FlowInfo, lastSeen units.Time)) {
+	for _, af := range p.flows {
+		if !af.rateOK {
+			continue
+		}
+		fn(int(af.sw.id), core.FlowInfo{
+			Key:     af.key,
+			DstMAC:  af.dstMAC,
+			Rate:    af.rate,
+			OutPort: int(af.port),
+		}, af.lastSeen)
+	}
+}
+
+// FlowCount returns the number of live merged flow records.
+func (p *Plane) FlowCount() int { return len(p.flows) }
+
+// Now returns the newest report or tick time the plane has seen.
+func (p *Plane) Now() units.Time { return p.now }
+
+// Merger exposes the event merger (counters, watermark) for tests and
+// dashboards.
+func (p *Plane) Merger() *EventMerger { return p.merger }
+
+// StaleVantages returns the vantages flagged stale by the last Tick.
+func (p *Plane) StaleVantages() []*Vantage {
+	var out []*Vantage
+	for _, v := range p.vantages {
+		if v.stale {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Vantages returns the number of joined vantages.
+func (p *Plane) Vantages() int { return len(p.vantages) }
+
+// DupReports returns the count of overlap reports dropped by the
+// cross-vantage dedup.
+func (p *Plane) DupReports() int64 { return p.met.dupReports.Value() }
+
+// Takeovers returns the count of records that changed owning vantage.
+func (p *Plane) Takeovers() int64 { return p.met.takeovers.Value() }
+
+// SuppressedCandidates returns the count of congestion candidates
+// skipped by the cooldown pre-check before an event was even built.
+func (p *Plane) SuppressedCandidates() int64 { return p.met.suppressed.Value() }
+
+// linkUtilAt mirrors core.Collector.LinkUtilization: sum the rates of
+// fresh, rate-bearing flows on the port.
+func (p *Plane) linkUtilAt(ps *planeSwitch, port int32, now units.Time) units.Rate {
+	var util units.Rate
+	for _, af := range ps.ports[port] {
+		if now.Sub(af.lastSeen) > p.cfg.FlowFreshness {
+			continue
+		}
+		if af.rateOK {
+			util += af.rate
+		}
+	}
+	return util
+}
+
+// flowsOn mirrors core.Collector.FlowsOnPort: snapshot the fresh flows
+// on the port (rate 0 for flows without an estimate yet).
+func (p *Plane) flowsOn(ps *planeSwitch, port int32, now units.Time) []core.FlowInfo {
+	l := ps.ports[port]
+	out := make([]core.FlowInfo, 0, len(l))
+	for _, af := range l {
+		if now.Sub(af.lastSeen) > p.cfg.FlowFreshness {
+			continue
+		}
+		out = append(out, core.FlowInfo{Key: af.key, DstMAC: af.dstMAC, Rate: af.rate, OutPort: int(port)})
+	}
+	return out
+}
+
+// moveFlow changes a record's port-list membership (swap-remove from
+// the old list, append to the new), the same bookkeeping the collector
+// and the sharded merger use.
+func (p *Plane) moveFlow(af *aggFlow, newPort int32) {
+	sw := af.sw
+	if af.port >= 0 && int(af.port) < len(sw.ports) {
+		l := sw.ports[af.port]
+		last := int32(len(l) - 1)
+		l[af.pos] = l[last]
+		l[af.pos].pos = af.pos
+		sw.ports[af.port] = l[:last]
+	}
+	af.port = newPort
+	af.pos = -1
+	if newPort >= 0 && int(newPort) < len(sw.ports) {
+		sw.ports[newPort] = append(sw.ports[newPort], af)
+		af.pos = int32(len(sw.ports[newPort]) - 1)
+	}
+}
+
+// detect replays the collector's congestion check against the merged
+// view after a rate-updating sample: same freshness-limited utilization
+// sum, same threshold comparison, and — via the merger — the same
+// per-link cooldown arithmetic a global collector would apply.
+func (p *Plane) detect(v *Vantage, t units.Time, af *aggFlow) {
+	if len(p.subs) == 0 && p.cfg.Tracer == nil {
+		return
+	}
+	sw := af.sw
+	port := af.port
+	if port < 0 || int(port) >= len(sw.ports) {
+		return
+	}
+	util := p.linkUtilAt(sw, port, t)
+	if float64(util) < p.cfg.UtilThreshold*float64(sw.capacity) {
+		return
+	}
+	link := LinkKey{Switch: sw.id, Port: port}
+	// Allocation-free pre-check: if the link is inside cooldown there is
+	// no point building the event's flow snapshot. False negatives
+	// (candidates still buffered in the merger) are caught at emission.
+	if p.merger.Suppressed(link, t) {
+		p.met.suppressed.IncRelaxed()
+		return
+	}
+	ev := core.CongestionEvent{
+		Time:       t,
+		SwitchName: sw.name,
+		Port:       int(port),
+		Util:       util,
+		Capacity:   sw.capacity,
+		Flows:      p.flowsOn(sw, port, t),
+		Epoch:      af.epoch,
+		Vantage:    int(v.id),
+	}
+	v.seq++
+	p.merger.Offer(link, v.id, v.seq, ev)
+	if p.cfg.ReorderWindow == 0 {
+		p.merger.AdvanceTo(t)
+	}
+}
+
+// Vantage is one collector's handle on the plane. It implements
+// core.AggregationSink: set it as the collector's Config.Sink and the
+// collector reports every flow sample here.
+type Vantage struct {
+	p          *Plane
+	id         VantageID
+	sw         *planeSwitch
+	seq        uint64 // private offer counter for the merger's total order
+	lastReport units.Time
+	stale      bool
+	restarts   int64
+}
+
+// ID returns the vantage's plane-assigned identifier (1-based).
+func (v *Vantage) ID() VantageID { return v.id }
+
+// Switch returns the monitored switch's index.
+func (v *Vantage) Switch() int { return int(v.sw.id) }
+
+// Stale reports whether the last Tick flagged this vantage stale.
+func (v *Vantage) Stale() bool { return v.stale }
+
+// Restarts returns how many times Rejoin has been called.
+func (v *Vantage) Restarts() int64 { return v.restarts }
+
+// Rejoin records a supervised restart of the vantage's collector. The
+// plane keeps the vantage's merged flows and — critically — the
+// merger's per-link cooldown anchors, so a restarted collector
+// re-reporting the same congestion cannot duplicate an event the fleet
+// already emitted.
+func (v *Vantage) Rejoin() {
+	v.restarts++
+	v.p.met.restarts.Inc()
+}
+
+// FlowSample implements core.AggregationSink: fold one per-flow sample
+// from this vantage into the merged view and, when the sample closed a
+// rate-estimation window, run plane-side congestion detection — the
+// same trigger discipline core.Collector.checkCongestion uses.
+func (v *Vantage) FlowSample(t units.Time, f *core.FlowState, rateUpdated bool) {
+	p := v.p
+	if t > p.now {
+		p.now = t
+	}
+	v.lastReport = t
+	v.stale = false
+	p.met.updates.IncRelaxed()
+
+	k := flowAt{sw: v.sw.id, key: f.Key}
+	af := p.flows[k]
+	if af == nil {
+		af = &aggFlow{key: f.Key, sw: v.sw, vantage: v.id, port: -1, pos: -1}
+		p.flows[k] = af
+		p.met.flows.Add(1)
+	} else if af.vantage != v.id {
+		// Cross-vantage dedup for overlapping coverage: a report that is
+		// older than what the record already holds, or resolved under an
+		// older routing epoch, is a duplicate of information we have.
+		// Otherwise the newer vantage takes the record over.
+		if t < af.lastSeen || f.RouteEpoch() < af.epoch {
+			p.met.dupReports.IncRelaxed()
+			return
+		}
+		af.vantage = v.id
+		p.met.takeovers.IncRelaxed()
+	}
+
+	af.lastSeen = t
+	af.dstMAC = f.DstMAC
+	af.epoch = f.RouteEpoch()
+	af.rate, af.rateOK = f.Rate()
+	if np := int32(f.OutPort()); np != af.port {
+		p.moveFlow(af, np)
+	}
+	if rateUpdated {
+		p.detect(v, t, af)
+	}
+}

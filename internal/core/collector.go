@@ -71,6 +71,39 @@ type Config struct {
 	// only ingest-reachable probe is one branch plus one atomic load in
 	// remapFlowAt, which runs on label/epoch changes only.
 	Tracer *trace.Tracer
+	// Sink, when non-nil, receives one FlowSample callback per ingested
+	// sequence-carrying sample — the seam a vantage collector uses to
+	// feed a federated aggregation plane (internal/agg). The sink is
+	// called synchronously on the ingest goroutine after the sample's
+	// flow record is fully updated; detection then typically lives at
+	// the plane, with no local Subscribe, so events fire exactly once
+	// network-wide. Serial collectors only: NewSharded rejects a config
+	// with a Sink (shard workers would invoke it concurrently).
+	Sink AggregationSink
+	// Vantage identifies this collector within a fleet; it stamps the
+	// Vantage field of locally emitted congestion events. Zero for a
+	// single-collector deployment.
+	Vantage int
+}
+
+// AggregationSink observes every ingested sample of a vantage-scoped
+// collector. f is the live flow record — fully updated for this sample,
+// owned by the collector's flow table — and must not be retained.
+// rateUpdated reports whether the sample closed an estimation window,
+// i.e. exactly the condition under which the collector itself would run
+// congestion detection.
+type AggregationSink interface {
+	FlowSample(t units.Time, f *FlowState, rateUpdated bool)
+}
+
+// WithDefaults returns a copy of c with every zero tuning field
+// replaced by its paper default — the exact thresholds a collector
+// built from c will run with. An aggregation plane federating several
+// such collectors derives its own thresholds from this so detection at
+// the plane is cooldown- and threshold-coherent with the fleet.
+func (c Config) WithDefaults() Config {
+	c.fillDefaults()
+	return c
 }
 
 func (c *Config) fillDefaults() {
@@ -134,6 +167,14 @@ type CongestionEvent struct {
 	// configured Tracer at emit time (serial path) or by the merger's
 	// in-order replay (sharded path). Zero when tracing is off.
 	ID uint64
+	// Epoch is the routing epoch the triggering flow's egress port was
+	// resolved under — event provenance for cross-collector merging
+	// (zero without a RouteResolver).
+	Epoch uint64
+	// Vantage identifies the emitting collector within a fleet
+	// (Config.Vantage, or the aggregation plane's vantage id for
+	// plane-emitted events). Zero for a single-collector deployment.
+	Vantage int
 }
 
 // Stats aggregates collector counters. It is a snapshot view over the
@@ -484,6 +525,9 @@ func (c *Collector) ingest(t units.Time, frame []byte, h uint64) error {
 		c.met.rateUpdates.IncRelaxed()
 		c.checkCongestion(t, f)
 	}
+	if s := c.cfg.Sink; s != nil {
+		s.FlowSample(t, f, updated)
+	}
 	if timed {
 		c.met.ingest.Observe(obs.Nanos() - start)
 	}
@@ -529,9 +573,13 @@ func (c *Collector) ingestUDP(t units.Time, frame []byte, h uint64) {
 		f.DstMAC = c.dec.Eth.Dst
 		c.remapFlowAt(t, f)
 	}
-	if f.Pkt.Observe(t, seq, c.dec.WireLen) {
+	updated := f.Pkt.Observe(t, seq, c.dec.WireLen)
+	if updated {
 		c.met.rateUpdates.IncRelaxed()
 		c.checkCongestion(t, f)
+	}
+	if s := c.cfg.Sink; s != nil {
+		s.FlowSample(t, f, updated)
 	}
 }
 
@@ -619,6 +667,8 @@ func (c *Collector) checkCongestion(t units.Time, f *FlowState) {
 		Util:       util,
 		Capacity:   c.cfg.LinkRate,
 		Flows:      c.FlowsOnPort(p),
+		Epoch:      f.routeEpoch,
+		Vantage:    c.cfg.Vantage,
 	}
 	if tr := c.cfg.Tracer; tr != nil {
 		// The trace is born here: stamped with the triggering flow's

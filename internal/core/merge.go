@@ -252,6 +252,8 @@ func (m *merger) checkCongestion(t units.Time, p int, epoch uint64) {
 		Util:       util,
 		Capacity:   m.sc.cfg.LinkRate,
 		Flows:      m.view.flowsOnPort(p, m.sc.cfg.FlowFreshness),
+		Epoch:      epoch,
+		Vantage:    m.sc.cfg.Vantage,
 	}
 	if tr := m.sc.cfg.Tracer; tr != nil {
 		// Begin takes only the tracer's own mutex; it never calls back

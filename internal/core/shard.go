@@ -88,6 +88,11 @@ type ShardedConfig struct {
 
 func (c *ShardedConfig) fillDefaults() {
 	c.Config.fillDefaults()
+	// The per-sample aggregation sink is a serial-collector seam: shard
+	// workers would invoke it concurrently and out of stream order, so
+	// the sharded pipeline never carries one. Fleet deployments shard
+	// *across* collectors instead (one serial vantage per mirror port).
+	c.Sink = nil
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}

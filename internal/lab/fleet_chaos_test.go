@@ -1,0 +1,179 @@
+package lab
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"planck/internal/core"
+	"planck/internal/sim"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// Fleet chaos: crash a vantage collector mid-run under supervision and
+// require graceful degradation instead of corruption. Two hot spots
+// (one per side of the fat tree) keep two edge links congested for the
+// whole run; the victim's collector is crashed while both are firing.
+//
+// Degradation contract:
+//   - the plane flags the dead vantage stale while it is dark, and
+//     unflags it after the supervised restart;
+//   - the merger's plane-owned cooldown anchors survive the restart, so
+//     no link's event stream ever violates cooldown spacing — a
+//     restarted collector replaying hot links cannot duplicate events;
+//   - vantages on other switches are unaffected: their merged event
+//     streams are identical to the fault-free run's;
+//   - the victim resumes reporting after restart (fresh events appear).
+func TestFleetChaosCrashRestart(t *testing.T) {
+	const (
+		crashAt = 21 * units.Millisecond
+		probeAt = 24 * units.Millisecond // after StaleAfter, before the 25ms restart tick
+		runFor  = 80 * units.Millisecond
+	)
+
+	type result struct {
+		events      []core.CongestionEvent
+		victim      int
+		victimName  string
+		staleAtPro  int  // stale vantages at the mid-crash probe
+		victimStale bool // victim flagged stale at the probe
+		restarts    int64
+		staleEnd    int  // stale vantages at end of run (idle switches count)
+		victimEnd   bool // victim still stale at end of run
+	}
+
+	run := func(crash bool) result {
+		net := topo.FatTree16(units.Rate10G)
+		l, err := New(Options{
+			Net:       net,
+			Mirror:    true,
+			Aggregate: true,
+			Supervise: true,
+			// Slow the supervision tick so the crash leaves a well-defined
+			// dark window (crash at 21ms, restart at the 25ms tick) that
+			// the staleness probe can land inside deterministically.
+			SupervisorConfig: SupervisorConfig{
+				Heartbeat: core.HeartbeatConfig{Interval: 5 * units.Millisecond},
+			},
+			Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := result{victim: net.Hosts[4].Switch}
+		res.victimName = net.SwitchNames[res.victim]
+		l.Ctrl.Subscribe(func(ev core.CongestionEvent) {
+			res.events = append(res.events, ev)
+		})
+
+		// Hot spot A: pod-0 hosts converge on host 4 (pod 1) — the victim
+		// switch's egress link. Hot spot B: pod-2 hosts converge on host
+		// 12 (pod 3), untouched by the crash. 40 MiB flows outlast the run.
+		for i := 0; i < 4; i++ {
+			if _, err := l.Hosts[i].StartFlow(0, topo.HostIP(4), uint16(5001+i), 40<<20, int32(1+i)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Hosts[8+i].StartFlow(0, topo.HostIP(12), uint16(6001+i), 40<<20, int32(9+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if crash {
+			node := l.Collectors[res.victim]
+			l.Eng.Schedule(units.Time(crashAt), sim.Callback(node.Crash), nil)
+			l.Eng.Schedule(units.Time(probeAt), sim.Callback(func(units.Time) {
+				res.staleAtPro = len(l.Agg.StaleVantages())
+				res.victimStale = l.Vantage(res.victim).Stale()
+			}), nil)
+		}
+		l.Run(runFor)
+		res.restarts = l.Vantage(res.victim).Restarts()
+		res.staleEnd = len(l.Agg.StaleVantages())
+		res.victimEnd = l.Vantage(res.victim).Stale()
+		return res
+	}
+
+	clean := run(false)
+	if len(clean.events) == 0 {
+		t.Fatal("fault-free fleet run produced no congestion events; chaos run would be vacuous")
+	}
+	victimEvents := 0
+	for _, ev := range clean.events {
+		if ev.SwitchName == clean.victimName {
+			victimEvents++
+		}
+	}
+	if victimEvents == 0 {
+		t.Fatalf("fault-free run has no events on victim %s", clean.victimName)
+	}
+
+	chaos := run(true)
+
+	// Stale-vantage flagging: dark during the window, recovered by the end.
+	if !chaos.victimStale {
+		t.Error("victim vantage not flagged stale during the crash window")
+	}
+	if chaos.staleAtPro == 0 {
+		t.Error("plane reported no stale vantages mid-crash")
+	}
+	if chaos.restarts < 1 {
+		t.Errorf("victim vantage recorded %d restarts, want >= 1", chaos.restarts)
+	}
+	// Idle switches (no traffic crosses them) are legitimately stale in
+	// both runs; the crash must not add to that set once restarted.
+	if chaos.victimEnd {
+		t.Error("victim vantage still stale at end of run; restart did not recover the feed")
+	}
+	if chaos.staleEnd != clean.staleEnd {
+		t.Errorf("stale vantages at end: %d under crash vs %d fault-free", chaos.staleEnd, clean.staleEnd)
+	}
+
+	// Cooldown coherence across the restart: no link's merged event
+	// stream may ever fire twice inside the cooldown.
+	cooldown := core.Config{}.WithDefaults().EventCooldown
+	lastByLink := map[string]units.Time{}
+	for _, ev := range chaos.events {
+		link := fmt.Sprintf("%s/%d", ev.SwitchName, ev.Port)
+		if last, ok := lastByLink[link]; ok {
+			if gap := ev.Time.Sub(last); gap < cooldown {
+				t.Fatalf("duplicate event on %s: spacing %v < cooldown %v (restart replay leaked through)", link, gap, cooldown)
+			}
+		}
+		lastByLink[link] = ev.Time
+	}
+
+	// Collateral-damage check: switches other than the victim emit the
+	// exact same merged stream whether or not the victim's collector
+	// crashed (the crash is control-plane only; the data plane and every
+	// other vantage are untouched).
+	others := func(evs []core.CongestionEvent, victimName string) []string {
+		var out []string
+		for _, ev := range evs {
+			if ev.SwitchName != victimName {
+				out = append(out, fmt.Sprintf("t=%d %s port=%d util=%d", ev.Time, ev.SwitchName, ev.Port, ev.Util))
+			}
+		}
+		return out
+	}
+	cleanOthers := others(clean.events, clean.victimName)
+	chaosOthers := others(chaos.events, chaos.victimName)
+	if len(cleanOthers) == 0 {
+		t.Fatal("no events from non-victim switches; collateral check vacuous")
+	}
+	if !reflect.DeepEqual(chaosOthers, cleanOthers) {
+		t.Errorf("non-victim event streams diverge under crash: %d vs %d events",
+			len(chaosOthers), len(cleanOthers))
+	}
+
+	// The victim's feed resumes after the supervised restart.
+	resumed := 0
+	for _, ev := range chaos.events {
+		if ev.SwitchName == chaos.victimName && ev.Time > units.Time(crashAt)+units.Time(10*units.Millisecond) {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Error("victim emitted no events after restart; feed never recovered")
+	}
+}

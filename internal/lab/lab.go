@@ -10,6 +10,7 @@ import (
 	"io"
 	"math/rand"
 
+	"planck/internal/agg"
 	"planck/internal/controller"
 	"planck/internal/core"
 	"planck/internal/faults"
@@ -51,6 +52,23 @@ type Options struct {
 	// sink instead of a monitor port, so samples see no mirror buffering
 	// and no front-panel port is spent. Requires Mirror.
 	InSwitchCollectors bool
+	// Aggregate runs the testbed as a collector fleet: every monitored
+	// switch's collector becomes a vantage reporting into one federated
+	// aggregation plane (internal/agg), and congestion events reach the
+	// controller as the plane's merged, deduplicated, cooldown-coherent
+	// network-wide stream instead of per-collector subscriptions.
+	// Requires Mirror; incompatible with CollectorShards (the sample
+	// sink is serial-only — the fleet shards across collectors instead).
+	Aggregate bool
+	// AggregateConfig tunes the plane; zero thresholds inherit
+	// CollectorConfig's (defaulted) values so fleet and collectors agree
+	// on what "congested" means, and Metrics/Tracer default to the
+	// lab's.
+	AggregateConfig agg.Config
+	// MonitorSwitches, when non-nil, restricts mirroring and collectors
+	// to the listed switch indices — a partial fleet deployment. Nil
+	// monitors every switch with a monitor port.
+	MonitorSwitches []int
 	// Supervise runs a Supervisor per monitored switch: heartbeat
 	// staleness detection, crash restart with state re-sync, retried
 	// event delivery, and sFlow fallback while the mirror feed is dark.
@@ -104,6 +122,11 @@ type Lab struct {
 	// Options.Supervise is set (indexed by switch; nil otherwise).
 	Supervisors []*Supervisor
 
+	// Agg is the federated aggregation plane when Options.Aggregate is
+	// set; it implements te.NetworkSource for fleet-fed traffic
+	// engineering.
+	Agg *agg.Plane
+
 	// Faults is the active fault schedule (nil until ApplyFaults); the
 	// supervisors consult it for partition and channel-delay windows.
 	Faults *faults.Schedule
@@ -117,8 +140,13 @@ type Lab struct {
 	opts Options
 
 	// collectorCfgs keeps each monitored switch's filled collector
-	// config so supervisors can rebuild crashed collectors identically.
+	// config so supervisors can rebuild crashed collectors identically
+	// (in fleet mode the config carries the switch's vantage sink, so
+	// replacements rejoin the plane automatically).
 	collectorCfgs []core.Config
+	// vantages holds each monitored switch's plane vantage in fleet
+	// mode (indexed by switch; nil entries otherwise).
+	vantages []*agg.Vantage
 	// faultMetrics aggregates injected-fault counters across all feeds.
 	faultMetrics *faults.Metrics
 }
@@ -127,6 +155,12 @@ type Lab struct {
 func New(opts Options) (*Lab, error) {
 	if opts.Net == nil {
 		return nil, fmt.Errorf("lab: Options.Net is required")
+	}
+	if opts.Aggregate && !opts.Mirror {
+		return nil, fmt.Errorf("lab: Options.Aggregate requires Mirror")
+	}
+	if opts.Aggregate && opts.CollectorShards > 0 {
+		return nil, fmt.Errorf("lab: Options.Aggregate is incompatible with CollectorShards (the per-sample sink is serial-only; the fleet shards across collectors)")
 	}
 	net := opts.Net
 	if opts.SwitchConfig == nil {
@@ -223,10 +257,24 @@ func New(opts Options) (*Lab, error) {
 	}
 	l.Ctrl.InstallRoutes(trees, opts.Mirror)
 
+	if opts.Aggregate {
+		l.buildAggPlane()
+	}
+	var monitored map[int]bool
+	if opts.MonitorSwitches != nil {
+		monitored = make(map[int]bool, len(opts.MonitorSwitches))
+		for _, s := range opts.MonitorSwitches {
+			if s < 0 || s >= net.NumSwitches() {
+				return nil, fmt.Errorf("lab: MonitorSwitches entry %d out of range", s)
+			}
+			monitored[s] = true
+		}
+	}
+
 	if opts.Mirror {
 		for s := 0; s < net.NumSwitches(); s++ {
 			mp := net.MonitorPort[s]
-			if mp < 0 {
+			if mp < 0 || (monitored != nil && !monitored[s]) {
 				continue
 			}
 			ccfg := opts.CollectorConfig
@@ -238,6 +286,18 @@ func New(opts Options) (*Lab, error) {
 			// restarts rebuild replacement collectors with the same ID
 			// source and the ID stream stays monotone across crashes.
 			ccfg.Tracer = opts.Tracer
+			if l.Agg != nil {
+				// Fleet mode: this collector is a vantage. It reports every
+				// flow sample to the plane, carries no event subscribers of
+				// its own (detection is the plane's job — a local
+				// subscriber would duplicate every event), and the sink
+				// rides in the stored config so supervised restarts rejoin
+				// the same vantage.
+				v := l.Agg.Join(s, ccfg.SwitchName, ccfg.NumPorts, ccfg.LinkRate)
+				l.vantages[s] = v
+				ccfg.Sink = v
+				ccfg.Vantage = int(v.ID())
+			}
 			l.collectorCfgs[s] = ccfg
 			var node *CollectorNode
 			if opts.CollectorShards > 0 {
@@ -269,7 +329,15 @@ func New(opts Options) (*Lab, error) {
 				}
 				l.Supervisors[s] = newSupervisor(l, s, node, opts.SupervisorConfig)
 			} else if node.Collector() != nil {
-				l.Ctrl.AttachCollector(s, node.Collector())
+				if l.Agg != nil {
+					// Vantages get the routing oracle but are never
+					// attached: AttachCollector would subscribe the
+					// controller to local detection, double-reporting
+					// everything the plane merges.
+					node.Collector().SetPortMapper(l.Ctrl.Mapper(s))
+				} else {
+					l.Ctrl.AttachCollector(s, node.Collector())
+				}
 			}
 		}
 	}
@@ -313,6 +381,63 @@ func (l *Lab) ApplyFaults(sched *faults.Schedule, seed int64) {
 	}
 }
 
+// buildAggPlane assembles the federated aggregation plane for fleet
+// mode: threshold coherence with the collectors, merged-event delivery
+// into the controller, and a periodic tick for vantage liveness.
+func (l *Lab) buildAggPlane() {
+	opts := l.opts
+	acfg := opts.AggregateConfig
+	cc := opts.CollectorConfig.WithDefaults()
+	if acfg.UtilThreshold == 0 {
+		acfg.UtilThreshold = cc.UtilThreshold
+	}
+	if acfg.EventCooldown == 0 {
+		acfg.EventCooldown = cc.EventCooldown
+	}
+	if acfg.FlowFreshness == 0 {
+		acfg.FlowFreshness = cc.FlowFreshness
+	}
+	if acfg.Metrics == nil {
+		acfg.Metrics = l.Metrics
+	}
+	if acfg.Tracer == nil {
+		acfg.Tracer = opts.Tracer
+	}
+	l.Agg = agg.New(acfg)
+	l.vantages = make([]*agg.Vantage, l.Net.NumSwitches())
+
+	// Merged events reach the controller through the same machinery a
+	// single collector's events would: under supervision, a retrying
+	// deliverer gated by the fault schedule's partition and delay
+	// windows; otherwise a direct synchronous handoff.
+	if opts.Supervise {
+		send := func(now units.Time, ev core.CongestionEvent) error {
+			sched := l.Faults
+			if sched.PartitionActive(now) {
+				return errPartitioned
+			}
+			if d := sched.ChannelDelay(now); d > 0 {
+				l.Eng.After(d, sim.Callback(func(units.Time) { l.Ctrl.DeliverEvent(ev) }), nil)
+				return nil
+			}
+			l.Ctrl.DeliverEvent(ev)
+			return nil
+		}
+		del := controller.NewSimDeliverer(l.Eng, opts.SupervisorConfig.Backoff, opts.Seed+0x5eed, send, nil)
+		del.Tracer = opts.Tracer
+		l.Agg.Subscribe(func(ev core.CongestionEvent) {
+			now := l.Eng.Now()
+			if tr := opts.Tracer; tr != nil {
+				tr.MarkQueued(ev.ID, now)
+			}
+			del.Deliver(now, ev)
+		})
+	} else {
+		l.Agg.Subscribe(l.Ctrl.DeliverEvent)
+	}
+	sim.NewTicker(l.Eng, opts.PollInterval, l.Agg.Tick)
+}
+
 // Run drives the simulation until deadline.
 func (l *Lab) Run(until units.Duration) { l.Eng.RunUntil(units.Time(until)) }
 
@@ -322,6 +447,15 @@ func (l *Lab) Collector(s int) *core.Collector {
 		return n.Collector()
 	}
 	return nil
+}
+
+// Vantage returns switch s's aggregation-plane vantage, or nil when
+// the lab was built without Options.Aggregate (or s is unmonitored).
+func (l *Lab) Vantage(s int) *agg.Vantage {
+	if l.vantages == nil {
+		return nil
+	}
+	return l.vantages[s]
 }
 
 // Supervisor returns switch s's supervision loop, or nil when the lab

@@ -161,8 +161,14 @@ func newSupervisor(l *Lab, s int, node *CollectorNode, cfg SupervisorConfig) *Su
 		sup.fb.observe(now, outPort, pkt)
 	}
 
-	sup.subscribe()
-	node.OnBatchEnd = sup.drainEvents
+	if l.Agg == nil {
+		sup.subscribe()
+		node.OnBatchEnd = sup.drainEvents
+	}
+	// In fleet mode the collector has no local event path to tap: its
+	// samples flow to the aggregation plane, which owns detection,
+	// dedup, and delivery. The supervisor keeps its heartbeat, restart,
+	// and fallback duties.
 	sim.NewTicker(l.Eng, sup.hb.Config().Interval, sup.tick)
 
 	label := obs.Label("switch", l.Net.SwitchNames[s])
@@ -282,7 +288,15 @@ func (sup *Supervisor) restart() {
 		col.RestoreCooldowns(sup.cooldowns)
 		sup.node.RestartSerial(col)
 	}
-	sup.subscribe()
+	if sup.lab.Agg == nil {
+		sup.subscribe()
+	} else if v := sup.lab.vantages[sup.s]; v != nil {
+		// The replacement inherits the vantage sink through the stored
+		// config; the plane's merger kept the link cooldown anchors
+		// while the collector was down, so replayed congestion cannot
+		// re-fire events the fleet already emitted.
+		v.Rejoin()
+	}
 	sup.Restarts.Inc()
 }
 

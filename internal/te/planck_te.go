@@ -51,6 +51,19 @@ type PlanckTEConfig struct {
 	ViewRefresh units.Duration
 	// Actuate picks ARP (default) or OpenFlow rewriting.
 	Actuate Actuator
+	// Source, when non-nil, feeds the view-refresh loop from a
+	// network-wide flow source (the collector fleet's aggregation
+	// plane) instead of querying per-switch collectors through the
+	// controller. Congestion events still arrive through the
+	// controller's subscription either way.
+	Source NetworkSource
+}
+
+// NetworkSource is the fleet-mode flow feed: one merged, network-wide
+// iteration over (switch, flow) records with rate estimates.
+// *agg.Plane implements it.
+type NetworkSource interface {
+	EachFlow(fn func(sw int, fi core.FlowInfo, lastSeen units.Time))
 }
 
 // DefaultPlanckTEConfig matches §7.1.
@@ -137,30 +150,39 @@ func (t *PlanckTE) refreshView(now units.Time) {
 	// label while their mirror queue drains. Labels therefore come only
 	// from the ingress edge.
 	best := make(map[packet.FlowKey]obs)
-	for s := 0; s < t.net.NumSwitches(); s++ {
-		col := t.ctrl.Collector(s)
-		if col == nil {
-			continue
+	consider := func(s int, fi core.FlowInfo, seen units.Time) {
+		if now.Sub(seen) > t.cfg.FlowTimeout {
+			return
 		}
-		col.Flows(func(fs *core.FlowState) {
-			if now.Sub(fs.LastSeen) > t.cfg.FlowTimeout {
-				return
+		src, ok := topo.HostOfIP(fi.Key.SrcIP)
+		if !ok || src < 0 || src >= t.net.NumHosts() || t.net.Hosts[src].Switch != s {
+			return
+		}
+		if b, have := best[fi.Key]; !have || seen > b.seen {
+			best[fi.Key] = obs{fi: fi, seen: seen}
+		}
+	}
+	if t.cfg.Source != nil {
+		// Fleet mode: one pass over the aggregation plane's merged,
+		// already rate-filtered records. The ingress-edge filter in
+		// consider applies unchanged, so the fold is exactly the
+		// per-collector query's.
+		t.cfg.Source.EachFlow(consider)
+	} else {
+		for s := 0; s < t.net.NumSwitches(); s++ {
+			col := t.ctrl.Collector(s)
+			if col == nil {
+				continue
 			}
-			src, ok := topo.HostOfIP(fs.Key.SrcIP)
-			if !ok || src < 0 || src >= t.net.NumHosts() || t.net.Hosts[src].Switch != s {
-				return
-			}
-			rate, ok := fs.Rate()
-			if !ok {
-				return
-			}
-			if b, have := best[fs.Key]; !have || fs.LastSeen > b.seen {
-				best[fs.Key] = obs{
-					fi:   core.FlowInfo{Key: fs.Key, DstMAC: fs.DstMAC, Rate: rate},
-					seen: fs.LastSeen,
+			s := s
+			col.Flows(func(fs *core.FlowState) {
+				rate, ok := fs.Rate()
+				if !ok {
+					return
 				}
-			}
-		})
+				consider(s, core.FlowInfo{Key: fs.Key, DstMAC: fs.DstMAC, Rate: rate}, fs.LastSeen)
+			})
+		}
 	}
 	for _, o := range best {
 		t.updateFlow(now, o.fi)

@@ -7,7 +7,8 @@ import (
 )
 
 // Fat-tree layout constants for the paper's 16-host testbed (a k=4
-// three-tier fat-tree of 5-port logical switches).
+// three-tier fat-tree of 5-port logical switches). The general layout
+// lives in ftLayout; these constants keep the k=4 shape nameable.
 const (
 	ftPods          = 4
 	ftEdgesPerPod   = 2
@@ -29,70 +30,118 @@ func edgeID(pod, e int) int { return ftEdgeBase + pod*ftEdgesPerPod + e }
 func aggID(pod, a int) int  { return ftAggBase + pod*ftAggsPerPod + a }
 func coreID(c int) int      { return ftCoreBase + c }
 
-// Edge switch ports: 0,1 -> hosts; 2,3 -> agg 0,1; 4 monitor.
-// Agg switch ports:  0,1 -> edge 0,1; 2,3 -> cores (agg a of any pod
-// connects cores 2a and 2a+1); 4 monitor.
-// Core switch ports: 0..3 -> pods 0..3 (via agg c/2 in each); 4 monitor.
+// ftLayout is the index arithmetic of a k-ary three-tier fat-tree built
+// from (k+1)-port logical switches: k pods of k/2 edge and k/2
+// aggregation switches, (k/2)² cores, k/2 hosts per edge, and one extra
+// monitor port per switch. Switch numbering is edges, then aggs, then
+// cores, pod-major within each tier.
+//
+// Edge switch ports: 0..k/2-1 -> hosts; k/2..k-1 -> aggs 0..k/2-1 of
+// the pod; k monitor.
+// Agg switch ports:  0..k/2-1 -> edges 0..k/2-1 of the pod; k/2..k-1 ->
+// cores (agg a of any pod connects cores a·k/2 .. a·k/2+k/2-1); k monitor.
+// Core switch ports: 0..k-1 -> pods 0..k-1 (core c via agg c/(k/2) in
+// each); k monitor.
+type ftLayout struct {
+	k int
+}
+
+func (f ftLayout) half() int        { return f.k / 2 }
+func (f ftLayout) pods() int        { return f.k }
+func (f ftLayout) hosts() int       { return f.k * f.k * f.k / 4 }
+func (f ftLayout) cores() int       { return f.half() * f.half() }
+func (f ftLayout) numEdges() int    { return f.pods() * f.half() }
+func (f ftLayout) numAggs() int     { return f.pods() * f.half() }
+func (f ftLayout) aggBase() int     { return f.numEdges() }
+func (f ftLayout) coreBase() int    { return f.numEdges() + f.numAggs() }
+func (f ftLayout) switches() int    { return f.coreBase() + f.cores() }
+func (f ftLayout) monitorPort() int { return f.k }
+
+func (f ftLayout) edge(pod, e int) int { return pod*f.half() + e }
+func (f ftLayout) agg(pod, a int) int  { return f.aggBase() + pod*f.half() + a }
+func (f ftLayout) core(c int) int      { return f.coreBase() + c }
+
+// FatTree builds a k-ary fat-tree (k even, ≥ 2) with one routing tree
+// per core switch: tree c routes inter-pod traffic through core c and
+// intra-pod traffic through aggregation switch c/(k/2) of the pod,
+// giving (k/2)² edge-disjoint inter-pod paths per destination. Every
+// switch gives up one extra port for monitoring, matching the paper's
+// deployment model of one collector per mirror port (§2, §9.1).
+func FatTree(k int, rate units.Rate) *Network {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: fat-tree arity must be even and >= 2, got %d", k))
+	}
+	f := ftLayout{k: k}
+	half := f.half()
+	n := &Network{
+		Name:        fmt.Sprintf("fattree%d", f.hosts()),
+		LineRate:    rate,
+		SwitchNames: make([]string, f.switches()),
+		Ports:       make([][]Endpoint, f.switches()),
+		Hosts:       make([]Attach, f.hosts()),
+		MonitorPort: make([]int, f.switches()),
+		NumTrees:    f.cores(),
+		Pods:        f.pods(),
+		podOf:       make([]int, f.switches()),
+	}
+	for s := range n.Ports {
+		n.Ports[s] = make([]Endpoint, k+1)
+		n.MonitorPort[s] = f.monitorPort()
+		n.Ports[s][f.monitorPort()] = Endpoint{Kind: ToMonitor}
+		n.podOf[s] = -1
+	}
+	for p := 0; p < f.pods(); p++ {
+		for e := 0; e < half; e++ {
+			n.SwitchNames[f.edge(p, e)] = fmt.Sprintf("edge%d.%d", p, e)
+			n.podOf[f.edge(p, e)] = p
+		}
+		for a := 0; a < half; a++ {
+			n.SwitchNames[f.agg(p, a)] = fmt.Sprintf("agg%d.%d", p, a)
+			n.podOf[f.agg(p, a)] = p
+		}
+	}
+	for c := 0; c < f.cores(); c++ {
+		n.SwitchNames[f.core(c)] = fmt.Sprintf("core%d", c)
+	}
+
+	// Hosts onto edges.
+	for h := 0; h < f.hosts(); h++ {
+		pod := h / (half * half)
+		e := (h / half) % half
+		port := h % half
+		sw := f.edge(pod, e)
+		n.Hosts[h] = Attach{Switch: sw, Port: port}
+		n.Ports[sw][port] = Endpoint{Kind: ToHost, Host: h}
+	}
+	// Edge <-> agg.
+	for p := 0; p < f.pods(); p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				wire(n, f.edge(p, e), half+a, f.agg(p, a), e)
+			}
+		}
+	}
+	// Agg <-> core: agg a connects cores a·k/2+i on port k/2+i; core c
+	// reaches pod p on port p.
+	for p := 0; p < f.pods(); p++ {
+		for a := 0; a < half; a++ {
+			for i := 0; i < half; i++ {
+				wire(n, f.agg(p, a), half+i, f.core(a*half+i), p)
+			}
+		}
+	}
+
+	buildFatTreeRoutes(n, f)
+	return n
+}
 
 // FatTree16 builds the paper's 16-host fat-tree with four routing trees,
 // one per core switch. Tree c routes inter-pod traffic through core c and
 // intra-pod traffic through aggregation switch c/2, giving four
 // edge-disjoint inter-pod paths per destination.
 func FatTree16(rate units.Rate) *Network {
-	n := &Network{
-		Name:        "fattree16",
-		LineRate:    rate,
-		SwitchNames: make([]string, ftTotalSwitches),
-		Ports:       make([][]Endpoint, ftTotalSwitches),
-		Hosts:       make([]Attach, ftHosts),
-		MonitorPort: make([]int, ftTotalSwitches),
-		NumTrees:    ftCores,
-	}
-	for s := range n.Ports {
-		n.Ports[s] = make([]Endpoint, ftSwitchPorts)
-		n.MonitorPort[s] = ftMonitorPort
-		n.Ports[s][ftMonitorPort] = Endpoint{Kind: ToMonitor}
-	}
-	for p := 0; p < ftPods; p++ {
-		for e := 0; e < ftEdgesPerPod; e++ {
-			n.SwitchNames[edgeID(p, e)] = fmt.Sprintf("edge%d.%d", p, e)
-		}
-		for a := 0; a < ftAggsPerPod; a++ {
-			n.SwitchNames[aggID(p, a)] = fmt.Sprintf("agg%d.%d", p, a)
-		}
-	}
-	for c := 0; c < ftCores; c++ {
-		n.SwitchNames[coreID(c)] = fmt.Sprintf("core%d", c)
-	}
-
-	// Hosts onto edges.
-	for h := 0; h < ftHosts; h++ {
-		pod := h / (ftEdgesPerPod * ftHostsPerEdge)
-		e := (h / ftHostsPerEdge) % ftEdgesPerPod
-		port := h % ftHostsPerEdge
-		sw := edgeID(pod, e)
-		n.Hosts[h] = Attach{Switch: sw, Port: port}
-		n.Ports[sw][port] = Endpoint{Kind: ToHost, Host: h}
-	}
-	// Edge <-> agg.
-	for p := 0; p < ftPods; p++ {
-		for e := 0; e < ftEdgesPerPod; e++ {
-			for a := 0; a < ftAggsPerPod; a++ {
-				wire(n, edgeID(p, e), 2+a, aggID(p, a), e)
-			}
-		}
-	}
-	// Agg <-> core: agg a connects cores 2a and 2a+1 on ports 2 and 3;
-	// core c reaches pod p on port p.
-	for p := 0; p < ftPods; p++ {
-		for a := 0; a < ftAggsPerPod; a++ {
-			for i := 0; i < 2; i++ {
-				wire(n, aggID(p, a), 2+i, coreID(2*a+i), p)
-			}
-		}
-	}
-
-	buildFatTreeRoutes(n)
+	n := FatTree(4, rate)
+	n.Name = "fattree16"
 	return n
 }
 
@@ -101,42 +150,43 @@ func wire(n *Network, s1, p1, s2, p2 int) {
 	n.Ports[s2][p2] = Endpoint{Kind: ToSwitch, Switch: s1, Port: p1}
 }
 
-func buildFatTreeRoutes(n *Network) {
+func buildFatTreeRoutes(n *Network, f ftLayout) {
+	half := f.half()
 	n.routes = make([][][]int, n.NumTrees)
 	for c := 0; c < n.NumTrees; c++ {
-		n.routes[c] = make([][]int, ftHosts)
-		a := c / 2    // aggregation index used by tree c in every pod
-		up := 2 + c%2 // agg port toward core c
-		for d := 0; d < ftHosts; d++ {
-			r := make([]int, ftTotalSwitches)
+		n.routes[c] = make([][]int, f.hosts())
+		a := c / half       // aggregation index used by tree c in every pod
+		up := half + c%half // agg port toward core c
+		for d := 0; d < f.hosts(); d++ {
+			r := make([]int, f.switches())
 			for i := range r {
 				r[i] = -1
 			}
-			dpod := d / (ftEdgesPerPod * ftHostsPerEdge)
-			dedge := (d / ftHostsPerEdge) % ftEdgesPerPod
-			dport := d % ftHostsPerEdge
+			dpod := d / (half * half)
+			dedge := (d / half) % half
+			dport := d % half
 
 			// Destination edge delivers to the host.
-			r[edgeID(dpod, dedge)] = dport
+			r[f.edge(dpod, dedge)] = dport
 			// Every other edge sends up to agg a of its own pod.
-			for p := 0; p < ftPods; p++ {
-				for e := 0; e < ftEdgesPerPod; e++ {
+			for p := 0; p < f.pods(); p++ {
+				for e := 0; e < half; e++ {
 					if p == dpod && e == dedge {
 						continue
 					}
-					r[edgeID(p, e)] = 2 + a
+					r[f.edge(p, e)] = half + a
 				}
 			}
 			// Destination pod's agg a sends down to the destination edge.
-			r[aggID(dpod, a)] = dedge
+			r[f.agg(dpod, a)] = dedge
 			// Other pods' agg a sends up to core c.
-			for p := 0; p < ftPods; p++ {
+			for p := 0; p < f.pods(); p++ {
 				if p != dpod {
-					r[aggID(p, a)] = up
+					r[f.agg(p, a)] = up
 				}
 			}
 			// Core c sends down to the destination pod.
-			r[coreID(c)] = dpod
+			r[f.core(c)] = dpod
 			n.routes[c][d] = r
 		}
 	}

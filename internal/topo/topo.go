@@ -68,10 +68,25 @@ type Network struct {
 	MonitorPort []int
 	// NumTrees is the number of routing trees (1 base + alternates).
 	NumTrees int
+	// Pods is the pod count for pod-structured topologies (fat-trees);
+	// 0 when the topology has no pod structure.
+	Pods int
 
 	// routes[t][d][s] is the output port at switch s toward host d under
 	// tree t, or -1 when s is not on that tree.
 	routes [][][]int
+	// podOf[s] is the pod switch s belongs to, or -1 for core switches;
+	// nil when the topology has no pod structure.
+	podOf []int
+}
+
+// PodOfSwitch returns the pod switch s belongs to, or -1 for switches
+// outside any pod (core tier, or topologies without pod structure).
+func (n *Network) PodOfSwitch(s int) int {
+	if n.podOf == nil || s < 0 || s >= len(n.podOf) {
+		return -1
+	}
+	return n.podOf[s]
 }
 
 // NumSwitches returns the switch count.
