@@ -5,7 +5,7 @@ GO ?= go
 # offline machines with a cold cache.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke trace-smoke fleet-smoke staticcheck check bench bench-obs bench-shard bench-ingest bench-route bench-trace bench-fleet bench-gate clean
+.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke trace-smoke fleet-smoke link-smoke soak-reorder staticcheck check bench bench-obs bench-shard bench-ingest bench-route bench-trace bench-fleet bench-link bench-gate clean
 
 all: check
 
@@ -22,10 +22,12 @@ test: vet
 
 # race-fast covers the packages with genuine concurrency (the sharded
 # collector pipeline and its serial-equivalence oracles, the obs
-# registry under concurrent observe/serve, the UDP transport) plus the
-# hot-path packages, in under a minute.
+# registry under concurrent observe/serve, the UDP transport, the
+# vantagelink wire endpoints) plus the hot-path packages. The lab
+# package's fleet-over-transport suites push it past go test's default
+# 10-minute ceiling on small machines, hence the explicit timeout.
 race-fast: vet
-	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/counters/ ./internal/sim/ ./internal/packet/ ./internal/lab/ ./internal/routing/ ./internal/agg/ .
+	$(GO) test -race -timeout 25m ./internal/obs/ ./internal/core/ ./internal/counters/ ./internal/sim/ ./internal/packet/ ./internal/lab/ ./internal/routing/ ./internal/agg/ ./internal/vantagelink/ .
 
 # The experiments suite runs ~7 min uninstrumented; give the race
 # build room beyond go test's 10-minute default.
@@ -41,6 +43,7 @@ fuzz-smoke: vet
 	$(GO) test -run xxx -fuzz FuzzParseSpec -fuzztime 10s ./internal/faults/
 	$(GO) test -run xxx -fuzz FuzzTreeOfMAC -fuzztime 10s ./internal/topo/
 	$(GO) test -run xxx -fuzz FuzzAggregateMerge -fuzztime 10s ./internal/agg/
+	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/vantagelink/
 
 # chaos-smoke runs the fault-injection suite and the supervised
 # control-loop chaos scenario (loss blackout + crash + partition)
@@ -58,12 +61,29 @@ trace-smoke: vet
 	$(GO) run ./cmd/planck-sim -size 20MiB -seed 1 -trace-min 1 > /dev/null
 
 # fleet-smoke runs the k=8 fat tree (128 hosts, 80 switches) as a
-# collector fleet behind the federated aggregation plane, with PlanckTE
-# consuming the plane's merged view, and fails unless every flow
-# completes and every pod closes at least one full
-# detection→convergence control loop.
+# collector fleet behind the federated aggregation plane — vantage
+# reports crossing the vantagelink wire protocol over channels dropping
+# 5% of frames — with PlanckTE consuming the plane's merged view. It
+# fails unless every flow completes, every pod closes at least one full
+# detection→convergence control loop, every sender clock-syncs, and no
+# two emitted events violate a link's cooldown (duplicate suppression
+# holds under loss and retransmit).
 fleet-smoke: vet
-	$(GO) run ./cmd/planck-scale -run -k 8 -seed 7 > /dev/null
+	$(GO) run ./cmd/planck-scale -run -k 8 -seed 7 -transport link -link-loss 0.05 > /dev/null
+
+# link-smoke runs a 4-vantage fleet over real UDP loopback sockets —
+# one sender goroutine per vantage with a skewed wall clock and 5%
+# injected loss — and fails unless every record is delivered exactly
+# once, every sender clock-syncs, and event cooldown spacing holds.
+link-smoke: vet
+	$(GO) run ./cmd/planck-scale -run -k 4 -seed 7 -transport udp -link-loss 0.05 > /dev/null
+
+# soak-reorder replays the fleet capture through the transport with
+# per-vantage clock skew across ReorderWindow settings {1ms, 5ms, 20ms}
+# and checks the merged stream stays bit-identical to the unskewed
+# ReorderWindow=0 oracle (plus a negative control with sync disabled).
+soak-reorder: vet
+	$(GO) test -run 'TestSoakReorderWindow|TestFleetMatchesGlobalOracleOverTransport' -count=1 ./internal/agg/
 
 # staticcheck runs the pinned honnef.co/go/tools linter. Preference
 # order: an installed binary, then `go run` against the local module
@@ -83,7 +103,7 @@ staticcheck:
 # check is the tier-1 gate: everything must compile, vet clean, lint
 # clean (where staticcheck is available), pass, and hold the committed
 # ingest hot-path budget.
-check: vet build test race-fast staticcheck trace-smoke fleet-smoke bench-gate
+check: vet build test race-fast staticcheck trace-smoke fleet-smoke link-smoke soak-reorder bench-gate
 
 # bench runs the per-figure testing.B targets once each.
 bench: vet
@@ -129,18 +149,28 @@ bench-trace: vet
 bench-fleet: vet
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -fleet-json BENCH_fleet.json
 
+# bench-link measures the vantage report transport into BENCH_link.json:
+# the per-record wire codec (encode/decode, both self-gated to
+# 0 allocs/op — they run once per forwarded sample), a full 24-record
+# frame round trip, and end-to-end report delivery latency p50/p99 over
+# real UDP loopback sockets.
+bench-link: vet
+	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -link-json BENCH_link.json
+
 # bench-gate re-measures ingest_serial and fails if it regressed more
 # than 5% against the committed BENCH_ingest.json baseline, then runs
 # the routing-plane self-gates (view rows 0 allocs/op, ingest_view
 # within +5% of same-run ingest_serial), the tracer's idle-overhead
 # self-gate (traced ingest 0 allocs/op, within +2% of bare), and the
-# aggregation plane's per-sample 0 allocs/op self-gate.
+# aggregation plane's per-sample 0 allocs/op self-gate, and the wire
+# codec's per-record 0 allocs/op self-gate.
 bench-gate: vet
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -ingest-json - -gate-against BENCH_ingest.json
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -route-json -
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -trace-json -
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -fleet-json -
+	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -link-json -
 
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_route.json BENCH_trace.json BENCH_fleet.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_route.json BENCH_trace.json BENCH_fleet.json BENCH_link.json
 	$(GO) clean ./...

@@ -92,9 +92,20 @@ func fleetBenchFlows(v *agg.Vantage, nFlows int, perFlow int64, t0 units.Time) [
 		f.Est.Observe(0, 0)
 		f.Est.Observe(units.Time(300*units.Microsecond), uint32(perFlow))
 		flows[i] = f
-		v.FlowSample(t0, f, false)
+		rep := core.MakeFlowReport(t0, f, false)
+		v.Report(&rep)
 	}
 	return flows
+}
+
+// fleetBenchReports snapshots flows into reusable FlowReports so the
+// timed loops measure the plane's merge path, not report construction.
+func fleetBenchReports(flows []*core.FlowState, t units.Time, rateUpdated bool) []core.FlowReport {
+	reps := make([]core.FlowReport, len(flows))
+	for i, f := range flows {
+		reps[i] = core.MakeFlowReport(t, f, rateUpdated)
+	}
+	return reps
 }
 
 // benchAggMergeUpdate measures the plane's steady state: one vantage
@@ -107,10 +118,13 @@ func benchAggMergeUpdate(b *testing.B) {
 	v := p.Join(0, "bench", 8, units.Rate10G)
 	t := units.Time(units.Millisecond)
 	flows := fleetBenchFlows(v, nFlows, 1500, t)
+	reps := fleetBenchReports(flows, t, false)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		v.FlowSample(t, flows[i%nFlows], false)
+		rep := &reps[i%nFlows]
+		rep.Time = t
+		v.Report(rep)
 		t = t.Add(units.Duration(123))
 	}
 	b.StopTimer()
@@ -135,13 +149,16 @@ func benchAggMergeDetectSuppressed(b *testing.B) {
 	// threshold, so every rate-updating sample is a congestion candidate.
 	t := units.Time(units.Millisecond)
 	flows := fleetBenchFlows(v, nFlows, 375_000, t)
+	reps := fleetBenchReports(flows, t, true)
 	// Prime the cooldown: the first candidate emits a real event and
 	// anchors the link, so the timed loop measures the suppressed path.
-	v.FlowSample(t, flows[0], true)
+	v.Report(&reps[0])
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		v.FlowSample(t, flows[i%nFlows], true)
+		rep := &reps[i%nFlows]
+		rep.Time = t
+		v.Report(rep)
 		// Advance 1 ns per op: candidates stay inside the 250 µs cooldown
 		// and the Suppressed pre-check handles (nearly) every iteration.
 		t = t.Add(units.Duration(1))

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"planck/internal/core"
+	"planck/internal/packet"
+	"planck/internal/units"
+	"planck/internal/vantagelink"
+)
+
+// linkBenchReport is BENCH_link.json: the vantage report transport's
+// cost model. link_encode_record and link_decode_record are the
+// per-sample wire prices — every mirrored sample a fleet collector
+// forwards pays them once each — so both must stay allocation-free.
+// link_frame_roundtrip prices a full 24-record frame (header, records,
+// checksum, parse, decode). The latency rows measure end-to-end report
+// delivery over real loopback sockets: collector Report call to
+// resequenced release at the plane sink, including frame batching,
+// kernel UDP, and the receiver's ordered-merge watermark.
+type linkBenchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Rows       []obsBenchRow `json:"rows"`
+}
+
+// runLinkBench measures the wire codec and the loopback transport and
+// writes the rows as JSON to path ("-" for stdout). Self-gates: the two
+// per-sample codec rows must be 0 allocs/op.
+func runLinkBench(path string) error {
+	rep := linkBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	rows := map[string]obsBenchRow{}
+	add := func(name string, row obsBenchRow) {
+		row.Name = name
+		rep.Rows = append(rep.Rows, row)
+		rows[name] = row
+		fmt.Fprintf(os.Stderr, "%-32s %10.1f ns/op %6d allocs/op\n",
+			name, row.NsPerOp, row.AllocsPerOp)
+	}
+	addBench := func(name string, r testing.BenchmarkResult) {
+		add(name, obsBenchRow{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+
+	addBench("link_encode_record", testing.Benchmark(benchLinkEncodeRecord))
+	addBench("link_decode_record", testing.Benchmark(benchLinkDecodeRecord))
+	addBench("link_frame_roundtrip", testing.Benchmark(benchLinkFrameRoundTrip))
+
+	lat, err := linkLoopbackLatency()
+	if err != nil {
+		return fmt.Errorf("link bench: loopback latency: %w", err)
+	}
+	sort.Float64s(lat)
+	quantile := func(q float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	add("link_report_latency_p50", obsBenchRow{NsPerOp: quantile(0.50), Iterations: len(lat)})
+	add("link_report_latency_p99", obsBenchRow{NsPerOp: quantile(0.99), Iterations: len(lat)})
+
+	if path != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if path == "-" {
+			if _, err := os.Stdout.Write(out); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+	}
+
+	for _, name := range []string{"link_encode_record", "link_decode_record"} {
+		if r := rows[name]; r.AllocsPerOp != 0 {
+			return fmt.Errorf("link bench: %s allocates (%d allocs/op); the per-sample codec path must be allocation-free", name, r.AllocsPerOp)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "link bench: per-sample codec rows allocation-free")
+	return nil
+}
+
+func linkBenchRecord(i int) core.FlowReport {
+	return core.FlowReport{
+		Time: units.Time(units.Millisecond) + units.Time(i*137),
+		Key: packet.FlowKey{
+			SrcIP: packet.IPv4{10, 0, byte(i >> 8), byte(i)}, DstIP: packet.IPv4{10, 0, 8, 1},
+			SrcPort: uint16(i), DstPort: 5001,
+			Proto: packet.IPProtocolTCP,
+		},
+		DstMAC:      packet.MAC{2, 0, 0, 0, 0, byte(i)},
+		OutPort:     i % 8,
+		Epoch:       uint64(3 + i),
+		Rate:        units.Rate(1_000_000 * (i + 1)),
+		RateOK:      true,
+		RateUpdated: i%3 == 0,
+	}
+}
+
+// benchLinkEncodeRecord measures AppendRecord into a reused buffer —
+// the price each forwarded sample pays on the collector side.
+func benchLinkEncodeRecord(b *testing.B) {
+	rec := linkBenchRecord(1)
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = vantagelink.AppendRecord(buf[:0], &rec)
+	}
+}
+
+// benchLinkDecodeRecord measures DecodeRecord — the per-sample price on
+// the plane side.
+func benchLinkDecodeRecord(b *testing.B) {
+	rec := linkBenchRecord(1)
+	buf := vantagelink.AppendRecord(nil, &rec)
+	var out core.FlowReport
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vantagelink.DecodeRecord(buf, &out)
+	}
+}
+
+// benchLinkFrameRoundTrip prices a full data frame: header, 24 records,
+// checksum seal, parse with checksum verification, and decode of every
+// record — both ends of one maximally packed datagram.
+func benchLinkFrameRoundTrip(b *testing.B) {
+	const nRecs = 24
+	recs := make([]core.FlowReport, nRecs)
+	for i := range recs {
+		recs[i] = linkBenchRecord(i)
+	}
+	buf := make([]byte, 0, vantagelink.HeaderLen+nRecs*vantagelink.RecordLen)
+	var out core.FlowReport
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = vantagelink.AppendHeader(buf[:0], vantagelink.Header{
+			Type: vantagelink.FrameData, Vantage: 1, Seq: uint64(i + 1),
+			Time: units.Time(i),
+		})
+		for j := range recs {
+			buf = vantagelink.AppendRecord(buf, &recs[j])
+		}
+		vantagelink.FinishFrame(buf)
+		h, payload, err := vantagelink.ParseFrame(buf)
+		if err != nil || h.Type != vantagelink.FrameData {
+			b.Fatalf("parse: %v %+v", err, h)
+		}
+		for off := 0; off+vantagelink.RecordLen <= len(payload); off += vantagelink.RecordLen {
+			vantagelink.DecodeRecord(payload[off:], &out)
+		}
+	}
+}
+
+// linkLoopbackLatency runs one sender and one receiver over real UDP
+// loopback sockets and measures per-report delivery latency: the wall
+// time from the collector's Report call to the resequenced release at
+// the plane sink. Each record smuggles its send time in the Rate field
+// so the measurement needs no shared state between the two goroutines.
+func linkLoopbackLatency() ([]float64, error) {
+	const (
+		reports   = 2000
+		reportGap = 100 * time.Microsecond
+	)
+	var lat []float64
+	rx, err := vantagelink.ListenUDPReceiver("127.0.0.1:0", vantagelink.ReceiverConfig{
+		HoldTimeout: 500 * units.Millisecond,
+	}, nil, 250*units.Microsecond)
+	if err != nil {
+		return nil, err
+	}
+	defer rx.Close()
+	rx.Join(1, latencySink{lat: &lat})
+
+	tx, err := vantagelink.DialUDPSender(rx.Addr(), vantagelink.SenderConfig{
+		Vantage:   1,
+		Heartbeat: 250 * units.Microsecond,
+	}, vantagelink.NewEpochWallClock(), 250*units.Microsecond, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Close()
+
+	clock := vantagelink.NewEpochWallClock()
+	for i := 0; i < reports; i++ {
+		now := clock.Now()
+		rec := linkBenchRecord(i)
+		rec.Time = now
+		rec.Rate = units.Rate(time.Now().UnixNano())
+		tx.Report(&rec)
+		tx.BatchEnd(now)
+		time.Sleep(reportGap)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var n int
+		rx.Locked(func() { n = len(lat) })
+		if n >= reports {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var got int
+	rx.Locked(func() { got = len(lat) })
+	if got < reports {
+		return nil, fmt.Errorf("delivered %d/%d reports before deadline", got, reports)
+	}
+	return lat, nil
+}
+
+// latencySink appends one delivery latency per released record; it runs
+// under the receiver's lock.
+type latencySink struct {
+	lat *[]float64
+}
+
+func (s latencySink) Report(rep *core.FlowReport) {
+	*s.lat = append(*s.lat, float64(time.Now().UnixNano()-int64(rep.Rate)))
+}
+func (latencySink) Live(units.Time) {}
+func (latencySink) Rejoin(uint32)   {}

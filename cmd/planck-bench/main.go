@@ -173,6 +173,7 @@ func main() {
 	routeJSON := flag.String("route-json", "", "run the routing-plane benchmarks (commit/view/ingest-with-view), write JSON here (\"-\" = stdout), and exit")
 	traceJSON := flag.String("trace-json", "", "run the idle-tracing overhead benchmarks (self-gated: ≤2% over bare ingest, 0 allocs/op), write JSON here (\"-\" = stdout), and exit")
 	fleetJSON := flag.String("fleet-json", "", "run the aggregation-plane benchmarks (self-gated: per-sample merge rows 0 allocs/op), write JSON here (\"-\" = stdout), and exit")
+	linkJSON := flag.String("link-json", "", "run the vantage-link transport benchmarks (self-gated: per-sample codec rows 0 allocs/op), write JSON here (\"-\" = stdout), and exit")
 	gateAgainst := flag.String("gate-against", "", "with -ingest-json: fail if ingest_serial regressed >5% vs this baseline report")
 	cpu := flag.Int("cpu", 0, "set GOMAXPROCS for this run (0 = runtime default); reports record the effective value")
 	flag.Parse()
@@ -211,6 +212,13 @@ func main() {
 	}
 	if *fleetJSON != "" {
 		if err := runFleetBench(*fleetJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *linkJSON != "" {
+		if err := runLinkBench(*linkJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -13,6 +13,15 @@
 //	planck-collector -listen :5601 -max-samples 100000
 //	planck-collector -listen :5601 -metrics :9090 -stats-every 5s
 //	planck-collector -listen :5601 -batch 64
+//	planck-collector -listen :5601 -report plane-host:5700 -vantage 3
+//
+// -report turns the collector into one vantage of a distributed fleet:
+// every ingested sample is forwarded to an aggregation plane at the
+// given address over the vantagelink wire protocol (sequenced frames,
+// NACK/retransmit recovery, heartbeat liveness, clock sync). Requires
+// -listen (a live stream shares the plane's epoch time axis; a pcap
+// replay does not) and -shards 1 (the report sink is a serial-collector
+// seam). -vantage sets this collector's fleet id.
 //
 // The live listener drains the socket in batched read cycles (-batch
 // datagrams per cycle, default 32) and hands each cycle to the
@@ -42,6 +51,7 @@ import (
 	"planck/internal/core"
 	"planck/internal/obs"
 	"planck/internal/units"
+	"planck/internal/vantagelink"
 )
 
 func main() {
@@ -57,11 +67,25 @@ func main() {
 	batch := flag.Int("batch", planck.DefaultUDPBatch, "live-listener drain batch: datagrams ingested per batched read cycle (0 = one Ingest per datagram)")
 	faultSpec := flag.String("fault", "", `fault-injection spec applied to the ingest stream, e.g. "loss:0.05" or "loss@20ms-40ms,skew:200us" (empty = off)`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector's PRNG")
+	reportAddr := flag.String("report", "", "UDP address of an aggregation-plane receiver; forwards every sample over the vantagelink transport (empty = off)")
+	vantage := flag.Int("vantage", 1, "fleet vantage id stamped on forwarded reports (with -report)")
 	flag.Parse()
 
 	if (*pcapPath == "") == (*listen == "") {
 		fmt.Fprintln(os.Stderr, "exactly one of -pcap or -listen is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *reportAddr != "" && *listen == "" {
+		fmt.Fprintln(os.Stderr, "-report requires -listen: a live stream shares the plane's time axis, a pcap replay does not")
+		os.Exit(2)
+	}
+	if *reportAddr != "" && *shards > 1 {
+		fmt.Fprintln(os.Stderr, "-report requires -shards 1: the report sink is a serial-collector seam")
+		os.Exit(2)
+	}
+	if *vantage < 1 || *vantage > 65535 {
+		fmt.Fprintln(os.Stderr, "-vantage must be in [1, 65535]")
 		os.Exit(2)
 	}
 
@@ -71,6 +95,28 @@ func main() {
 		LinkRate:      units.Rate(*rateG * float64(units.Gbps)),
 		UtilThreshold: *threshold,
 		Metrics:       reg,
+		Vantage:       *vantage,
+	}
+
+	// With -report, every ingested sample is forwarded to the
+	// aggregation plane over the wire transport. The epoch wall clock
+	// matches the live stream's nanosecond timestamps, so heartbeats
+	// and records share one time axis and the sync exchange measures a
+	// meaningful offset.
+	var reporter *vantagelink.UDPSender
+	if *reportAddr != "" {
+		tx, err := vantagelink.DialUDPSender(*reportAddr, vantagelink.SenderConfig{
+			Vantage:    uint16(*vantage),
+			SwitchName: ccfg.SwitchName,
+			Metrics:    reg,
+		}, vantagelink.NewEpochWallClock(), units.Millisecond, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reporter = tx
+		ccfg.Sink = tx
+		fmt.Fprintf(os.Stderr, "reporting to aggregation plane at %s as vantage %d\n", *reportAddr, *vantage)
 	}
 	// Either pipeline satisfies the ingest and reporting surfaces the
 	// command needs; -shards>1 selects the concurrent one.
@@ -180,6 +226,16 @@ func main() {
 	} else {
 		st = serial.Stats()
 		flows = serial.Flows
+	}
+	if reporter != nil {
+		reporter.Close()
+		snd := reporter.Sender()
+		synced := "no"
+		if _, ok := snd.Offset(); ok {
+			synced = "yes"
+		}
+		fmt.Printf("vantage link: %d frames / %d records sent, %d resent, %d shed, clock synced: %s\n",
+			snd.FramesSent(), snd.RecordsSent(), snd.Resends(), snd.Sheds(), synced)
 	}
 	fmt.Printf("replayed %d frames: %d flows, %d rate updates, %d decode errors, %d non-TCP\n",
 		frames, st.Flows, st.RateUpdates, st.DecodeErrors, st.NonTCP)

@@ -13,6 +13,16 @@
 //	planck-scale
 //	planck-scale -ports 32 -monitor 2
 //	planck-scale -run -k 8 -collectors 0 -seed 7
+//	planck-scale -run -k 8 -transport link -link-loss 0.05
+//	planck-scale -run -k 4 -transport udp -link-loss 0.05
+//
+// -transport selects how vantage reports reach the aggregation plane:
+// in-process calls (inproc, the default), the vantagelink wire
+// protocol over simulated lossy channels (link), or real UDP loopback
+// sockets with one goroutine pair per vantage (udp). link and udp
+// honour -link-loss, and both gate on zero duplicate congestion
+// events: per-link event spacing must respect the merger's cooldown
+// even while the transport is recovering lost report frames.
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"planck/internal/core"
 	"planck/internal/experiments"
 	"planck/internal/lab"
 	"planck/internal/obs/trace"
@@ -37,6 +48,9 @@ func main() {
 	collectors := flag.Int("collectors", 0, "vantage collectors for -run, spread round-robin across pods (0 = every switch)")
 	size := flag.Int64("size", 6<<20, "per-flow bytes for -run's stride workload")
 	seed := flag.Int64("seed", 7, "seed for -run")
+	transport := flag.String("transport", "inproc", "report transport for -run: inproc, link, or udp")
+	linkLoss := flag.Float64("link-loss", 0, "report-channel loss probability for -transport link/udp")
+	linkSeed := flag.Int64("link-seed", 0, "report-channel fault seed for -transport link/udp (0 = -seed)")
 	flag.Parse()
 
 	fmt.Print(experiments.Scalability().Render())
@@ -49,8 +63,45 @@ func main() {
 	}
 
 	if *run {
-		os.Exit(fleetRun(*k, *collectors, *size, *seed))
+		ls := *linkSeed
+		if ls == 0 {
+			ls = *seed
+		}
+		switch *transport {
+		case "inproc":
+			os.Exit(fleetRun(*k, *collectors, *size, *seed, lab.TransportInProcess, 0, 0))
+		case "link":
+			os.Exit(fleetRun(*k, *collectors, *size, *seed, lab.TransportLink, *linkLoss, ls))
+		case "udp":
+			os.Exit(udpRun(*k, *linkLoss, ls))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -transport %q (want inproc, link, or udp)\n", *transport)
+			os.Exit(2)
+		}
 	}
+}
+
+// eventSpacing watches emitted congestion events and counts per-link
+// cooldown violations — two events on one link closer than the merger's
+// cooldown means a duplicate slipped through the fleet's dedup.
+type eventSpacing struct {
+	cooldown units.Duration
+	last     map[string]units.Time
+	events   int
+	bad      int
+}
+
+func newEventSpacing(cooldown units.Duration) *eventSpacing {
+	return &eventSpacing{cooldown: cooldown, last: make(map[string]units.Time)}
+}
+
+func (c *eventSpacing) observe(ev core.CongestionEvent) {
+	c.events++
+	key := fmt.Sprintf("%s/%d", ev.SwitchName, ev.Port)
+	if prev, ok := c.last[key]; ok && ev.Time.Sub(prev) < c.cooldown {
+		c.bad++
+	}
+	c.last[key] = ev.Time
 }
 
 // pickCollectors chooses n monitored switches round-robin across pods
@@ -89,7 +140,7 @@ func pickCollectors(net *topo.Network, n int) []int {
 // view at the plane, drive the colliding stride workload, and gate on
 // completed flows plus one complete detection→convergence trace per
 // pod. Returns the process exit code.
-func fleetRun(k, collectors int, size, seed int64) int {
+func fleetRun(k, collectors int, size, seed int64, mode lab.TransportMode, linkLoss float64, linkSeed int64) int {
 	net := topo.FatTree(k, units.Rate10G)
 	tracer := trace.New(4096)
 	opts := lab.Options{
@@ -99,12 +150,19 @@ func fleetRun(k, collectors int, size, seed int64) int {
 		MonitorSwitches: pickCollectors(net, collectors),
 		Tracer:          tracer,
 		Seed:            seed,
+		Transport:       mode,
+		LinkFaultSeed:   linkSeed,
+	}
+	if linkLoss > 0 {
+		opts.LinkFaultSpec = fmt.Sprintf("loss:%g", linkLoss)
 	}
 	l, err := lab.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	spacing := newEventSpacing(core.Config{}.WithDefaults().EventCooldown)
+	l.Agg.Subscribe(spacing.observe)
 	tec := te.DefaultPlanckTEConfig()
 	tec.Source = l.Agg
 	te.NewPlanckTE(l.Ctrl, tec)
@@ -118,11 +176,20 @@ func fleetRun(k, collectors int, size, seed int64) int {
 	m := l.Agg.Merger()
 	fmt.Printf("aggregation plane: %d flows merged, %d events emitted, %d deduped, %d late, %d dup reports, %d stale vantages\n",
 		l.Agg.FlowCount(), m.Emitted, m.Deduped, m.Late, l.Agg.DupReports(), len(l.Agg.StaleVantages()))
+	if mode == lab.TransportLink {
+		if code := gateLinkTransport(l, net); code != 0 {
+			return code
+		}
+	}
 	tracer.FlushOpen()
 	tracer.WriteBreakdown(os.Stdout)
 
 	if res.Completed < res.Total {
 		fmt.Fprintf(os.Stderr, "fleet: only %d/%d flows completed\n", res.Completed, res.Total)
+		return 1
+	}
+	if spacing.bad > 0 {
+		fmt.Fprintf(os.Stderr, "fleet: %d/%d congestion events violated the per-link cooldown (duplicates)\n", spacing.bad, spacing.events)
 		return 1
 	}
 
@@ -150,6 +217,46 @@ func fleetRun(k, collectors int, size, seed int64) int {
 	}
 	if !ok {
 		fmt.Fprintln(os.Stderr, "fleet: some pod closed no complete detection→convergence trace")
+		return 1
+	}
+	return 0
+}
+
+// gateLinkTransport prints the wire-transport totals for a TransportLink
+// run and fails it when the link did not actually deliver: every active
+// sender must have completed the clock-sync exchange, and the receiver
+// must have released records to the plane.
+func gateLinkTransport(l *lab.Lab, net *topo.Network) int {
+	var frames, records, resends, sheds, lost int64
+	active, synced := 0, 0
+	for s := 0; s < net.NumSwitches(); s++ {
+		snd := l.LinkSender(s)
+		if snd == nil || snd.FramesSent() == 0 {
+			continue
+		}
+		active++
+		if _, ok := snd.Offset(); ok {
+			synced++
+		}
+		frames += snd.FramesSent()
+		records += snd.RecordsSent()
+		resends += snd.Resends()
+		sheds += snd.Sheds()
+		if g := l.LinkGate(s); g != nil {
+			lost += g.Met.Lost.Value()
+		}
+	}
+	rx := l.LinkReceiver()
+	fmt.Printf("vantage link: %d senders (%d synced), %d frames / %d records sent, %d lost on the wire, %d resent, %d shed\n",
+		active, synced, frames, records, lost, resends, sheds)
+	fmt.Printf("vantage link rx: %d records released, %d gaps detected, %d abandoned, %d late, %d dup frames\n",
+		rx.RecordsReleased(), rx.GapsDetected(), rx.Abandoned(), rx.LateRecords(), rx.DupFrames())
+	if synced < active {
+		fmt.Fprintf(os.Stderr, "fleet link: only %d/%d active senders completed clock sync\n", synced, active)
+		return 1
+	}
+	if rx.RecordsReleased() == 0 {
+		fmt.Fprintln(os.Stderr, "fleet link: receiver released no records to the plane")
 		return 1
 	}
 	return 0

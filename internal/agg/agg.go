@@ -61,6 +61,13 @@ type Config struct {
 	// Tick emit those older than now−window.
 	ReorderWindow units.Duration
 
+	// ExternalMergeAdvance stops Tick from advancing the event merger:
+	// a transport receiver (internal/vantagelink) owns the merge clock
+	// and drives it through AdvanceMerge with its delivery watermark,
+	// so wall-clock ticks can never outrun reports still in flight on
+	// the channel and drop their candidates as Late.
+	ExternalMergeAdvance bool
+
 	// Metrics, when non-nil, receives the planck_agg_* instruments.
 	Metrics *obs.Registry
 
@@ -110,12 +117,14 @@ type aggFlow struct {
 }
 
 // planeSwitch is the plane's per-monitored-switch state: the egress
-// port lists the utilization sum walks.
+// port lists the utilization sum walks, plus the vantages covering the
+// switch (for the all-stale fallback check).
 type planeSwitch struct {
 	id       int32
 	name     string
 	capacity units.Rate
 	ports    [][]*aggFlow
+	vantages []*Vantage
 }
 
 type planeMetrics struct {
@@ -127,6 +136,7 @@ type planeMetrics struct {
 	suppressed obs.Counter // candidates skipped by the cooldown pre-check
 	staleVant  obs.Gauge   // vantages currently flagged stale
 	restarts   obs.Counter // vantage Rejoin calls (supervised restarts)
+	fallback   obs.Counter // utilization queries served by an sFlow fallback
 }
 
 // Plane is the aggregation tier. Build one with New, hand each
@@ -164,6 +174,7 @@ func New(cfg Config) *Plane {
 		m.MustRegister("planck_agg_vantages", obs.GaugeFunc(func() float64 { return float64(len(p.vantages)) }))
 		m.MustRegister("planck_agg_stale_vantages", &p.met.staleVant)
 		m.MustRegister("planck_agg_vantage_restarts_total", &p.met.restarts)
+		m.MustRegister("planck_agg_fallback_util_total", &p.met.fallback)
 	}
 	return p
 }
@@ -186,6 +197,7 @@ func (p *Plane) Join(sw int, switchName string, numPorts int, capacity units.Rat
 	}
 	v := &Vantage{p: p, id: VantageID(len(p.vantages) + 1), sw: ps}
 	p.vantages = append(p.vantages, v)
+	ps.vantages = append(ps.vantages, v)
 	return v
 }
 
@@ -210,20 +222,43 @@ func (p *Plane) emitMerged(ev core.CongestionEvent) {
 // Tick advances plane housekeeping to now: re-evaluates vantage
 // staleness and, with a positive ReorderWindow, releases buffered event
 // candidates older than now−window. Drive it from a periodic ticker.
+//
+// Staleness is judged on lastRecv — when the vantage last *reached*
+// the plane, on the plane's own clock — never on the report content
+// timestamps, which belong to the collector's (possibly skewed) clock.
+// A skewed-but-healthy vantage therefore stays live, and a partitioned
+// one flips stale even while its pre-partition reports are still
+// draining out of the transport.
 func (p *Plane) Tick(now units.Time) {
 	if now > p.now {
 		p.now = now
 	}
 	stale := int64(0)
 	for _, v := range p.vantages {
-		v.stale = now.Sub(v.lastReport) > p.cfg.StaleAfter
+		v.stale = now.Sub(v.lastRecv) > p.cfg.StaleAfter
 		if v.stale {
 			stale++
 		}
 	}
 	p.met.staleVant.Set(stale)
+	if w := p.cfg.ReorderWindow; w > 0 && !p.cfg.ExternalMergeAdvance {
+		p.merger.AdvanceTo(now.Add(-w))
+	}
+}
+
+// AdvanceMerge advances the event merger's release clock to the
+// transport receiver's delivery watermark: every report timestamped
+// ≤ now has been folded in, so candidates older than now−ReorderWindow
+// can be emitted in final order. The owner of the merge clock under
+// Config.ExternalMergeAdvance.
+func (p *Plane) AdvanceMerge(now units.Time) {
+	if now > p.now {
+		p.now = now
+	}
 	if w := p.cfg.ReorderWindow; w > 0 {
 		p.merger.AdvanceTo(now.Add(-w))
+	} else {
+		p.merger.AdvanceTo(now)
 	}
 }
 
@@ -249,13 +284,36 @@ func (p *Plane) ExpireFlows(now units.Time, idle units.Duration) int {
 
 // LinkUtilization sums the fresh flow rates merged onto (sw, port) as
 // of the plane's current time — the network-wide answer to the query a
-// single collector answers for its own switch.
+// single collector answers for its own switch. While every vantage
+// covering the switch is stale (channel partitioned or collectors
+// dark) and one of them registered a fallback estimator, the fallback
+// answers instead of the frozen merged flows.
 func (p *Plane) LinkUtilization(sw, port int) units.Rate {
 	ps := p.switches[int32(sw)]
 	if ps == nil || port < 0 || port >= len(ps.ports) {
 		return 0
 	}
+	if fb := p.fallbackFor(ps); fb != nil {
+		p.met.fallback.IncRelaxed()
+		return fb(port)
+	}
 	return p.linkUtilAt(ps, int32(port), p.now)
+}
+
+// fallbackFor returns the switch's degraded-mode utilization source:
+// non-nil only when every vantage covering ps is stale and at least
+// one of them has a fallback registered (Vantage.SetFallback).
+func (p *Plane) fallbackFor(ps *planeSwitch) func(port int) units.Rate {
+	var fb func(port int) units.Rate
+	for _, v := range ps.vantages {
+		if !v.stale {
+			return nil
+		}
+		if fb == nil && v.fallback != nil {
+			fb = v.fallback
+		}
+	}
+	return fb
 }
 
 // EachFlow visits every merged flow record with a rate estimate —
@@ -309,6 +367,10 @@ func (p *Plane) Takeovers() int64 { return p.met.takeovers.Value() }
 // SuppressedCandidates returns the count of congestion candidates
 // skipped by the cooldown pre-check before an event was even built.
 func (p *Plane) SuppressedCandidates() int64 { return p.met.suppressed.Value() }
+
+// FallbackServes returns how many LinkUtilization calls were answered
+// by a stale vantage's registered fallback estimator.
+func (p *Plane) FallbackServes() int64 { return p.met.fallback.Value() }
 
 // linkUtilAt mirrors core.Collector.LinkUtilization: sum the rates of
 // fresh, rate-bearing flows on the port.
@@ -402,16 +464,20 @@ func (p *Plane) detect(v *Vantage, t units.Time, af *aggFlow) {
 }
 
 // Vantage is one collector's handle on the plane. It implements
-// core.AggregationSink: set it as the collector's Config.Sink and the
-// collector reports every flow sample here.
+// core.AggregationSink: set it as the collector's Config.Sink (or as a
+// transport receiver's delivery target) and the collector reports
+// every flow sample here.
 type Vantage struct {
 	p          *Plane
 	id         VantageID
 	sw         *planeSwitch
-	seq        uint64 // private offer counter for the merger's total order
-	lastReport units.Time
+	seq        uint64     // private offer counter for the merger's total order
+	lastReport units.Time // newest report content time (collector clock)
+	lastRecv   units.Time // when the vantage last reached the plane (plane clock)
+	transport  bool       // liveness owned by a transport receiver's NoteLive
 	stale      bool
 	restarts   int64
+	fallback   func(port int) units.Rate
 }
 
 // ID returns the vantage's plane-assigned identifier (1-based).
@@ -422,6 +488,30 @@ func (v *Vantage) Switch() int { return int(v.sw.id) }
 
 // Stale reports whether the last Tick flagged this vantage stale.
 func (v *Vantage) Stale() bool { return v.stale }
+
+// NoteLive marks the vantage live as of the plane's receive clock —
+// a transport receiver calls it for every frame (data or heartbeat)
+// that arrives from the vantage, so liveness tracks the channel, not
+// the collector's (possibly skewed) report timestamps.
+func (v *Vantage) NoteLive(now units.Time) {
+	if now > v.lastRecv {
+		v.lastRecv = now
+	}
+	v.stale = false
+}
+
+// BindTransport marks the vantage transport-driven: liveness comes
+// solely from the receiver's NoteLive calls and Report stops
+// refreshing it, so a dead channel flips the vantage stale even while
+// buffered pre-partition reports are still draining into the plane.
+func (v *Vantage) BindTransport() { v.transport = true }
+
+// SetFallback registers fn as this vantage's degraded-mode
+// utilization source (typically the supervisor's sFlow-bucket
+// estimator). While every vantage covering the switch is stale,
+// Plane.LinkUtilization serves the fallback instead of the frozen
+// merged flows.
+func (v *Vantage) SetFallback(fn func(port int) units.Rate) { v.fallback = fn }
 
 // Restarts returns how many times Rejoin has been called.
 func (v *Vantage) Restarts() int64 { return v.restarts }
@@ -436,23 +526,32 @@ func (v *Vantage) Rejoin() {
 	v.p.met.restarts.Inc()
 }
 
-// FlowSample implements core.AggregationSink: fold one per-flow sample
+// Report implements core.AggregationSink: fold one per-flow sample
 // from this vantage into the merged view and, when the sample closed a
 // rate-estimation window, run plane-side congestion detection — the
 // same trigger discipline core.Collector.checkCongestion uses.
-func (v *Vantage) FlowSample(t units.Time, f *core.FlowState, rateUpdated bool) {
+func (v *Vantage) Report(rep *core.FlowReport) {
 	p := v.p
+	t := rep.Time
 	if t > p.now {
 		p.now = t
 	}
 	v.lastReport = t
-	v.stale = false
+	if !v.transport {
+		// In-process delivery: receive time and report time are the same
+		// clock, so the report itself refreshes liveness. A transport
+		// receiver calls NoteLive instead.
+		if t > v.lastRecv {
+			v.lastRecv = t
+		}
+		v.stale = false
+	}
 	p.met.updates.IncRelaxed()
 
-	k := flowAt{sw: v.sw.id, key: f.Key}
+	k := flowAt{sw: v.sw.id, key: rep.Key}
 	af := p.flows[k]
 	if af == nil {
-		af = &aggFlow{key: f.Key, sw: v.sw, vantage: v.id, port: -1, pos: -1}
+		af = &aggFlow{key: rep.Key, sw: v.sw, vantage: v.id, port: -1, pos: -1}
 		p.flows[k] = af
 		p.met.flows.Add(1)
 	} else if af.vantage != v.id {
@@ -460,7 +559,7 @@ func (v *Vantage) FlowSample(t units.Time, f *core.FlowState, rateUpdated bool) 
 		// older than what the record already holds, or resolved under an
 		// older routing epoch, is a duplicate of information we have.
 		// Otherwise the newer vantage takes the record over.
-		if t < af.lastSeen || f.RouteEpoch() < af.epoch {
+		if t < af.lastSeen || rep.Epoch < af.epoch {
 			p.met.dupReports.IncRelaxed()
 			return
 		}
@@ -469,13 +568,13 @@ func (v *Vantage) FlowSample(t units.Time, f *core.FlowState, rateUpdated bool) 
 	}
 
 	af.lastSeen = t
-	af.dstMAC = f.DstMAC
-	af.epoch = f.RouteEpoch()
-	af.rate, af.rateOK = f.Rate()
-	if np := int32(f.OutPort()); np != af.port {
+	af.dstMAC = rep.DstMAC
+	af.epoch = rep.Epoch
+	af.rate, af.rateOK = rep.Rate, rep.RateOK
+	if np := int32(rep.OutPort); np != af.port {
 		p.moveFlow(af, np)
 	}
-	if rateUpdated {
+	if rep.RateUpdated {
 		p.detect(v, t, af)
 	}
 }

@@ -71,9 +71,10 @@ type Config struct {
 	// only ingest-reachable probe is one branch plus one atomic load in
 	// remapFlowAt, which runs on label/epoch changes only.
 	Tracer *trace.Tracer
-	// Sink, when non-nil, receives one FlowSample callback per ingested
+	// Sink, when non-nil, receives one Report callback per ingested
 	// sequence-carrying sample — the seam a vantage collector uses to
-	// feed a federated aggregation plane (internal/agg). The sink is
+	// feed a federated aggregation plane (internal/agg), in-process or
+	// across a wire transport (internal/vantagelink). The sink is
 	// called synchronously on the ingest goroutine after the sample's
 	// flow record is fully updated; detection then typically lives at
 	// the plane, with no local Subscribe, so events fire exactly once
@@ -86,14 +87,56 @@ type Config struct {
 	Vantage int
 }
 
+// FlowReport is the sink-visible snapshot of one ingested sample: the
+// exact fields the aggregation plane folds into its merged view, as a
+// flat value that can cross a process boundary. RateUpdated reports
+// whether the sample closed an estimation window, i.e. exactly the
+// condition under which the collector itself would run congestion
+// detection.
+type FlowReport struct {
+	Time   units.Time
+	Key    packet.FlowKey
+	DstMAC packet.MAC
+	// OutPort is the flow's egress port at the vantage's switch
+	// (-1 unknown).
+	OutPort int
+	// Epoch is the routing epoch OutPort was resolved under.
+	Epoch uint64
+	Rate  units.Rate
+	// RateOK reports whether Rate carries a usable estimate.
+	RateOK      bool
+	RateUpdated bool
+}
+
+// MakeFlowReport snapshots the sink-visible fields of f at time t —
+// what the collector itself passes to its Sink after updating f.
+func MakeFlowReport(t units.Time, f *FlowState, rateUpdated bool) FlowReport {
+	rep := FlowReport{
+		Time:        t,
+		Key:         f.Key,
+		DstMAC:      f.DstMAC,
+		OutPort:     f.outPort,
+		Epoch:       f.routeEpoch,
+		RateUpdated: rateUpdated,
+	}
+	rep.Rate, rep.RateOK = f.Rate()
+	return rep
+}
+
 // AggregationSink observes every ingested sample of a vantage-scoped
-// collector. f is the live flow record — fully updated for this sample,
-// owned by the collector's flow table — and must not be retained.
-// rateUpdated reports whether the sample closed an estimation window,
-// i.e. exactly the condition under which the collector itself would run
-// congestion detection.
+// collector. rep points at a per-collector scratch reused by the next
+// sample — copy it to retain it past the call.
 type AggregationSink interface {
-	FlowSample(t units.Time, f *FlowState, rateUpdated bool)
+	Report(rep *FlowReport)
+}
+
+// BatchEndSink is an optional AggregationSink extension. When the
+// configured Sink implements it, the collector calls BatchEnd after
+// every Ingest or IngestBatch call — the natural flush point for sinks
+// that batch reports into wire frames (internal/vantagelink) instead
+// of folding them in synchronously.
+type BatchEndSink interface {
+	BatchEnd(now units.Time)
 }
 
 // WithDefaults returns a copy of c with every zero tuning field
@@ -218,6 +261,11 @@ type Collector struct {
 
 	now units.Time
 
+	// sinkRep is the scratch FlowReport handed to cfg.Sink; sinkBatch
+	// is cfg.Sink's optional batch-end face, asserted once at New.
+	sinkRep   FlowReport
+	sinkBatch BatchEndSink
+
 	met collectorMetrics
 
 	// cooldownScratch backs CooldownSnapshot so periodic supervisor
@@ -229,6 +277,9 @@ type Collector struct {
 func New(cfg Config) *Collector {
 	cfg.fillDefaults()
 	c := &Collector{cfg: cfg}
+	if cfg.Sink != nil {
+		c.sinkBatch, _ = cfg.Sink.(BatchEndSink)
+	}
 	c.met.init(cfg.StageTiming || cfg.Metrics != nil)
 	c.flows.probe = c.met.probeLen
 	if cfg.Metrics != nil {
@@ -340,7 +391,11 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 	}
 	c.syncRoutes()
 	c.met.samples.IncRelaxed()
-	return c.ingest(t, frame, 0)
+	err := c.ingest(t, frame, 0)
+	if c.sinkBatch != nil {
+		c.sinkBatch.BatchEnd(t)
+	}
+	return err
 }
 
 // ingestHashed is Ingest with a flow hash precomputed by the caller
@@ -391,6 +446,7 @@ func (c *Collector) IngestBatch(ts []units.Time, frames [][]byte) error {
 			}
 		}
 	} else {
+		// The slow path goes through Ingest, which fires BatchEnd itself.
 		for i := 0; i < n; i++ {
 			if err := c.Ingest(ts[i], frames[i]); err != nil {
 				if be == nil {
@@ -399,6 +455,9 @@ func (c *Collector) IngestBatch(ts []units.Time, frames [][]byte) error {
 				be.Failed++
 			}
 		}
+	}
+	if mono && c.sinkBatch != nil {
+		c.sinkBatch.BatchEnd(c.now)
 	}
 	if be != nil {
 		return be
@@ -525,13 +584,28 @@ func (c *Collector) ingest(t units.Time, frame []byte, h uint64) error {
 		c.met.rateUpdates.IncRelaxed()
 		c.checkCongestion(t, f)
 	}
-	if s := c.cfg.Sink; s != nil {
-		s.FlowSample(t, f, updated)
+	if c.cfg.Sink != nil {
+		c.sinkReport(t, f, updated)
 	}
 	if timed {
 		c.met.ingest.Observe(obs.Nanos() - start)
 	}
 	return nil
+}
+
+// sinkReport fills the scratch FlowReport from f and hands it to the
+// configured sink. Kept out of ingest so the sink-less hot path pays
+// only the nil check.
+func (c *Collector) sinkReport(t units.Time, f *FlowState, rateUpdated bool) {
+	rep := &c.sinkRep
+	rep.Time = t
+	rep.Key = f.Key
+	rep.DstMAC = f.DstMAC
+	rep.OutPort = f.outPort
+	rep.Epoch = f.routeEpoch
+	rep.Rate, rep.RateOK = f.Rate()
+	rep.RateUpdated = rateUpdated
+	c.cfg.Sink.Report(rep)
 }
 
 // ingestUDP estimates UDP flow throughput from an application-level
@@ -578,8 +652,8 @@ func (c *Collector) ingestUDP(t units.Time, frame []byte, h uint64) {
 		c.met.rateUpdates.IncRelaxed()
 		c.checkCongestion(t, f)
 	}
-	if s := c.cfg.Sink; s != nil {
-		s.FlowSample(t, f, updated)
+	if c.cfg.Sink != nil {
+		c.sinkReport(t, f, updated)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"planck/internal/tcpsim"
 	"planck/internal/topo"
 	"planck/internal/units"
+	"planck/internal/vantagelink"
 )
 
 // Options configures a testbed build.
@@ -65,6 +66,32 @@ type Options struct {
 	// on what "congested" means, and Metrics/Tracer default to the
 	// lab's.
 	AggregateConfig agg.Config
+	// Transport selects how vantage reports reach the aggregation
+	// plane in fleet mode: synchronous in-process sink handoff
+	// (TransportInProcess, the default) or the internal/vantagelink
+	// wire protocol over simulated lossy channels (TransportLink).
+	// Requires Aggregate when set to TransportLink.
+	Transport TransportMode
+	// LinkFaultSpec, when non-empty, is parsed with faults.ParseSpec
+	// and applied to every vantage's report channel — loss, corrupt,
+	// dup, reorder, partition, and chandelay on the report path,
+	// recovered by the transport's NACK/retransmit loop. Requires
+	// TransportLink.
+	LinkFaultSpec string
+	// LinkFaultSeed seeds the report-channel fault gates (0 uses Seed).
+	LinkFaultSeed int64
+	// LinkSkew, when non-nil, gives switch s's collector host a
+	// constant clock error applied to every wire timestamp it stamps;
+	// the transport's sync exchange estimates and cancels it. Only
+	// consulted under TransportLink.
+	LinkSkew func(s int) units.Duration
+	// ReportDelay is the one-way report/control channel latency under
+	// TransportLink (default 25 µs).
+	ReportDelay units.Duration
+	// LinkTick is the transport endpoints' tick cadence under
+	// TransportLink: heartbeats, NACK pacing, silence exclusion
+	// (default 250 µs).
+	LinkTick units.Duration
 	// MonitorSwitches, when non-nil, restricts mirroring and collectors
 	// to the listed switch indices — a partial fleet deployment. Nil
 	// monitors every switch with a monitor port.
@@ -147,6 +174,14 @@ type Lab struct {
 	// vantages holds each monitored switch's plane vantage in fleet
 	// mode (indexed by switch; nil entries otherwise).
 	vantages []*agg.Vantage
+	// linkSenders/linkGates/linkRecv are the wire-transport endpoints
+	// under Options.Transport == TransportLink (indexed by switch).
+	linkSenders []*vantagelink.Sender
+	linkGates   []*vantagelink.FaultGate
+	linkRecv    *vantagelink.Receiver
+	// linkSched is the parsed LinkFaultSpec schedule shared by every
+	// report-channel gate.
+	linkSched *faults.Schedule
 	// faultMetrics aggregates injected-fault counters across all feeds.
 	faultMetrics *faults.Metrics
 }
@@ -161,6 +196,12 @@ func New(opts Options) (*Lab, error) {
 	}
 	if opts.Aggregate && opts.CollectorShards > 0 {
 		return nil, fmt.Errorf("lab: Options.Aggregate is incompatible with CollectorShards (the per-sample sink is serial-only; the fleet shards across collectors)")
+	}
+	if opts.Transport == TransportLink && !opts.Aggregate {
+		return nil, fmt.Errorf("lab: Options.Transport == TransportLink requires Aggregate (the transport carries vantage reports)")
+	}
+	if opts.LinkFaultSpec != "" && opts.Transport != TransportLink {
+		return nil, fmt.Errorf("lab: Options.LinkFaultSpec requires Transport == TransportLink")
 	}
 	net := opts.Net
 	if opts.SwitchConfig == nil {
@@ -257,8 +298,20 @@ func New(opts Options) (*Lab, error) {
 	}
 	l.Ctrl.InstallRoutes(trees, opts.Mirror)
 
+	if opts.LinkFaultSpec != "" {
+		sched, err := faults.ParseSpec(opts.LinkFaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("lab: LinkFaultSpec: %w", err)
+		}
+		l.linkSched = sched
+	}
 	if opts.Aggregate {
 		l.buildAggPlane()
+		if opts.Transport == TransportLink {
+			l.linkSenders = make([]*vantagelink.Sender, net.NumSwitches())
+			l.linkGates = make([]*vantagelink.FaultGate, net.NumSwitches())
+			l.buildLinkReceiver()
+		}
 	}
 	var monitored map[int]bool
 	if opts.MonitorSwitches != nil {
@@ -295,8 +348,15 @@ func New(opts Options) (*Lab, error) {
 				// the same vantage.
 				v := l.Agg.Join(s, ccfg.SwitchName, ccfg.NumPorts, ccfg.LinkRate)
 				l.vantages[s] = v
-				ccfg.Sink = v
 				ccfg.Vantage = int(v.ID())
+				if opts.Transport == TransportLink {
+					// Wire transport: the collector's sink is a vantagelink
+					// sender whose frames reach the plane's shared receiver
+					// over a (possibly faulty) simulated channel.
+					ccfg.Sink = l.buildLink(s, v, ccfg.SwitchName)
+				} else {
+					ccfg.Sink = v
+				}
 			}
 			l.collectorCfgs[s] = ccfg
 			var node *CollectorNode
@@ -328,6 +388,13 @@ func New(opts Options) (*Lab, error) {
 					node.Collector().SetPortMapper(l.Ctrl.Mapper(s))
 				}
 				l.Supervisors[s] = newSupervisor(l, s, node, opts.SupervisorConfig)
+				if l.vantages != nil && l.vantages[s] != nil {
+					// The plane serves this vantage's links from the
+					// supervisor's sFlow estimator when the vantage goes
+					// stale — the transport-era analogue of the
+					// supervisor's own dark-feed fallback.
+					l.vantages[s].SetFallback(l.Supervisors[s].FallbackUtilization)
+				}
 			} else if node.Collector() != nil {
 				if l.Agg != nil {
 					// Vantages get the routing oracle but are never
@@ -402,6 +469,16 @@ func (l *Lab) buildAggPlane() {
 	}
 	if acfg.Tracer == nil {
 		acfg.Tracer = opts.Tracer
+	}
+	if opts.Transport == TransportLink {
+		// Over a real transport, reports arrive out of global order
+		// across vantages: hold events in a reorder window and let the
+		// transport receiver's delivery watermark — not wall time —
+		// advance the merge clock.
+		acfg.ExternalMergeAdvance = true
+		if acfg.ReorderWindow == 0 {
+			acfg.ReorderWindow = units.Millisecond
+		}
 	}
 	l.Agg = agg.New(acfg)
 	l.vantages = make([]*agg.Vantage, l.Net.NumSwitches())

@@ -290,6 +290,12 @@ func (sup *Supervisor) restart() {
 	}
 	if sup.lab.Agg == nil {
 		sup.subscribe()
+	} else if snd := sup.lab.LinkSender(sup.s); snd != nil {
+		// Wire-transport fleet: the restart announcement travels
+		// in-stream as a sequenced Rejoin frame, so the plane applies
+		// it in exactly the position it holds among the vantage's
+		// reports — even across report loss and retransmits.
+		snd.Rejoin(sup.lab.Eng.Now(), uint32(sup.gen))
 	} else if v := sup.lab.vantages[sup.s]; v != nil {
 		// The replacement inherits the vantage sink through the stored
 		// config; the plane's merger kept the link cooldown anchors

@@ -1,0 +1,325 @@
+// Package vantagelink is the wire between a fleet of vantage
+// collectors and the aggregation plane: a compact binary frame format
+// plus a resilient datagram transport (sequencing, NACK/retransmit,
+// bounded shedding, heartbeat liveness, clock-offset estimation) that
+// survives the loss, reordering, duplication, and skew a real
+// collector-to-aggregator network exhibits.
+//
+// PR 7's fleet federated through in-process core.Config.Sink calls;
+// this package carries the same FlowReport stream over a lossy channel
+// — an in-memory simulated link under internal/faults, or a real
+// net.UDPConn — and re-establishes, at the receiver, exactly the
+// ordered, deduplicated delivery the plane's oracle tests demand.
+//
+// Frame layout (big-endian, 28-byte header):
+//
+//	 0:4   magic "PLNK"
+//	 4     version (1)
+//	 5     type (Data, Heartbeat, Rejoin, Nack, Sync)
+//	 6:8   vantage id
+//	 8:16  sequence number (per-vantage, monotone from 1;
+//	       0 on the unsequenced control frames Nack and Sync)
+//	16:24  timestamp (sender clock for Data/Heartbeat/Rejoin)
+//	24:28  CRC32 (IEEE) over the whole frame with this field zeroed
+//
+// A Data payload is a batch of fixed 48-byte sample records; Nack
+// carries [from, to) retransmit ranges; Sync answers a Heartbeat with
+// the two receiver timestamps of an NTP-style offset exchange. Frames
+// that fail the checksum are dropped whole — corruption degrades to
+// loss, and the NACK path recovers it.
+package vantagelink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"planck/internal/core"
+	"planck/internal/packet"
+	"planck/internal/units"
+)
+
+// Wire constants.
+const (
+	Magic   uint32 = 0x504C4E4B // "PLNK"
+	Version uint8  = 1
+
+	// HeaderLen is the fixed frame header size.
+	HeaderLen = 28
+	// RecordLen is the fixed size of one encoded FlowReport.
+	RecordLen = 48
+	// NackRangeLen is the size of one [from, to) range in a Nack payload.
+	NackRangeLen = 16
+	// SyncLen is the Sync payload size (t1 echo, t2 arrival, t3 send).
+	SyncLen = 24
+	// RejoinLen is the Rejoin payload size (restart generation).
+	RejoinLen = 4
+	// HeartbeatLen is the Heartbeat payload size (flags + ring trail).
+	HeartbeatLen = 9
+
+	crcOff = 24
+)
+
+// FrameType discriminates wire frames.
+type FrameType uint8
+
+// Frame types. Data, Heartbeat, and Rejoin flow collector→plane and
+// carry sequence numbers; Nack and Sync flow plane→collector and are
+// unsequenced (best-effort, idempotent).
+const (
+	FrameData      FrameType = 1
+	FrameHeartbeat FrameType = 2
+	FrameRejoin    FrameType = 3
+	FrameNack      FrameType = 4
+	FrameSync      FrameType = 5
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameData:
+		return "data"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameRejoin:
+		return "rejoin"
+	case FrameNack:
+		return "nack"
+	case FrameSync:
+		return "sync"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Record flag bits (record byte 21).
+const (
+	recFlagRateOK      = 1 << 0
+	recFlagRateUpdated = 1 << 1
+)
+
+// Decode errors. Hostile input yields one of these; it never panics
+// (FuzzDecodeFrame holds the package to that).
+var (
+	ErrFrameTooShort = errors.New("vantagelink: frame shorter than header")
+	ErrBadMagic      = errors.New("vantagelink: bad magic")
+	ErrBadVersion    = errors.New("vantagelink: unsupported version")
+	ErrBadChecksum   = errors.New("vantagelink: checksum mismatch")
+	ErrBadPayload    = errors.New("vantagelink: payload length invalid for frame type")
+	ErrBadType       = errors.New("vantagelink: unknown frame type")
+)
+
+// Header is the decoded fixed frame header.
+type Header struct {
+	Type    FrameType
+	Vantage uint16
+	Seq     uint64
+	// Time is the sender-clock frame timestamp. For Data frames the
+	// sender stamps it with the newest record's time, so in-sequence
+	// header times bound everything delivered so far — the receiver's
+	// watermark reads exactly this.
+	Time units.Time
+}
+
+// AppendHeader appends the 28-byte encoding of h to dst with a zero
+// checksum field; FinishFrame fills the checksum once the payload is
+// complete. Append-style so a sender building frames in a reused
+// buffer allocates nothing.
+func AppendHeader(dst []byte, h Header) []byte {
+	var b [HeaderLen]byte
+	binary.BigEndian.PutUint32(b[0:4], Magic)
+	b[4] = Version
+	b[5] = uint8(h.Type)
+	binary.BigEndian.PutUint16(b[6:8], h.Vantage)
+	binary.BigEndian.PutUint64(b[8:16], h.Seq)
+	binary.BigEndian.PutUint64(b[16:24], uint64(h.Time))
+	// b[24:28] stays zero until FinishFrame.
+	return append(dst, b[:]...)
+}
+
+// FinishFrame computes the frame checksum (over the whole frame with
+// the checksum field zeroed) and writes it in place. The frame must
+// start with an AppendHeader-built header.
+func FinishFrame(frame []byte) {
+	binary.BigEndian.PutUint32(frame[crcOff:crcOff+4], 0)
+	binary.BigEndian.PutUint32(frame[crcOff:crcOff+4], frameChecksum(frame))
+}
+
+var zero4 [4]byte
+
+// frameChecksum hashes the frame as if its checksum field were zero,
+// without mutating the input.
+func frameChecksum(frame []byte) uint32 {
+	c := crc32.Update(0, crc32.IEEETable, frame[:crcOff])
+	c = crc32.Update(c, crc32.IEEETable, zero4[:])
+	return crc32.Update(c, crc32.IEEETable, frame[crcOff+4:])
+}
+
+// ParseFrame validates and decodes a datagram: header shape, magic,
+// version, checksum, and the per-type payload length contract. It
+// returns the header and the payload sub-slice (aliasing frame).
+func ParseFrame(frame []byte) (Header, []byte, error) {
+	if len(frame) < HeaderLen {
+		return Header{}, nil, ErrFrameTooShort
+	}
+	if binary.BigEndian.Uint32(frame[0:4]) != Magic {
+		return Header{}, nil, ErrBadMagic
+	}
+	if frame[4] != Version {
+		return Header{}, nil, ErrBadVersion
+	}
+	if binary.BigEndian.Uint32(frame[crcOff:crcOff+4]) != frameChecksum(frame) {
+		return Header{}, nil, ErrBadChecksum
+	}
+	h := Header{
+		Type:    FrameType(frame[5]),
+		Vantage: binary.BigEndian.Uint16(frame[6:8]),
+		Seq:     binary.BigEndian.Uint64(frame[8:16]),
+		Time:    units.Time(binary.BigEndian.Uint64(frame[16:24])),
+	}
+	payload := frame[HeaderLen:]
+	switch h.Type {
+	case FrameData:
+		if len(payload)%RecordLen != 0 {
+			return Header{}, nil, ErrBadPayload
+		}
+	case FrameHeartbeat:
+		if len(payload) != HeartbeatLen {
+			return Header{}, nil, ErrBadPayload
+		}
+	case FrameRejoin:
+		if len(payload) != RejoinLen {
+			return Header{}, nil, ErrBadPayload
+		}
+	case FrameNack:
+		if len(payload) == 0 || len(payload)%NackRangeLen != 0 {
+			return Header{}, nil, ErrBadPayload
+		}
+	case FrameSync:
+		if len(payload) != SyncLen {
+			return Header{}, nil, ErrBadPayload
+		}
+	default:
+		return Header{}, nil, ErrBadType
+	}
+	return h, payload, nil
+}
+
+// AppendRecord appends the 48-byte encoding of rep to dst —
+// allocation-free when dst has capacity (the bench gate holds the
+// per-sample encode row to 0 allocs/op).
+func AppendRecord(dst []byte, rep *core.FlowReport) []byte {
+	var b [RecordLen]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(rep.Time))
+	copy(b[8:12], rep.Key.SrcIP[:])
+	copy(b[12:16], rep.Key.DstIP[:])
+	binary.BigEndian.PutUint16(b[16:18], rep.Key.SrcPort)
+	binary.BigEndian.PutUint16(b[18:20], rep.Key.DstPort)
+	b[20] = uint8(rep.Key.Proto)
+	var flags uint8
+	if rep.RateOK {
+		flags |= recFlagRateOK
+	}
+	if rep.RateUpdated {
+		flags |= recFlagRateUpdated
+	}
+	b[21] = flags
+	copy(b[22:28], rep.DstMAC[:])
+	binary.BigEndian.PutUint64(b[28:36], rep.Epoch)
+	binary.BigEndian.PutUint64(b[36:44], uint64(rep.Rate))
+	binary.BigEndian.PutUint32(b[44:48], uint32(int32(rep.OutPort)))
+	return append(dst, b[:]...)
+}
+
+// DecodeRecord decodes the first RecordLen bytes of b into rep,
+// overwriting every field. The caller guarantees len(b) ≥ RecordLen
+// (ParseFrame's Data length contract).
+func DecodeRecord(b []byte, rep *core.FlowReport) {
+	_ = b[RecordLen-1]
+	rep.Time = units.Time(binary.BigEndian.Uint64(b[0:8]))
+	copy(rep.Key.SrcIP[:], b[8:12])
+	copy(rep.Key.DstIP[:], b[12:16])
+	rep.Key.SrcPort = binary.BigEndian.Uint16(b[16:18])
+	rep.Key.DstPort = binary.BigEndian.Uint16(b[18:20])
+	rep.Key.Proto = packet.IPProtocol(b[20])
+	flags := b[21]
+	rep.RateOK = flags&recFlagRateOK != 0
+	rep.RateUpdated = flags&recFlagRateUpdated != 0
+	copy(rep.DstMAC[:], b[22:28])
+	rep.Epoch = binary.BigEndian.Uint64(b[28:36])
+	rep.Rate = units.Rate(binary.BigEndian.Uint64(b[36:44]))
+	rep.OutPort = int(int32(binary.BigEndian.Uint32(b[44:48])))
+}
+
+// AppendNackRange appends one [from, to) retransmit range to a Nack
+// payload under construction.
+func AppendNackRange(dst []byte, from, to uint64) []byte {
+	var b [NackRangeLen]byte
+	binary.BigEndian.PutUint64(b[0:8], from)
+	binary.BigEndian.PutUint64(b[8:16], to)
+	return append(dst, b[:]...)
+}
+
+// DecodeNackRange decodes range i of a Nack payload.
+func DecodeNackRange(payload []byte, i int) (from, to uint64) {
+	b := payload[i*NackRangeLen:]
+	return binary.BigEndian.Uint64(b[0:8]), binary.BigEndian.Uint64(b[8:16])
+}
+
+// AppendSync appends a Sync payload: t1 is the echoed Heartbeat
+// timestamp (sender clock), t2 its receiver arrival time, t3 the
+// reply's send time (receiver clock).
+func AppendSync(dst []byte, t1, t2, t3 units.Time) []byte {
+	var b [SyncLen]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(t1))
+	binary.BigEndian.PutUint64(b[8:16], uint64(t2))
+	binary.BigEndian.PutUint64(b[16:24], uint64(t3))
+	return append(dst, b[:]...)
+}
+
+// DecodeSync decodes a Sync payload.
+func DecodeSync(payload []byte) (t1, t2, t3 units.Time) {
+	return units.Time(binary.BigEndian.Uint64(payload[0:8])),
+		units.Time(binary.BigEndian.Uint64(payload[8:16])),
+		units.Time(binary.BigEndian.Uint64(payload[16:24]))
+}
+
+// Heartbeat flag bits.
+const hbFlagSynced = 1 << 0
+
+// AppendHeartbeat appends a Heartbeat payload. synced reports whether
+// the frame's timestamp is on the sender's final (sync-corrected or
+// knowingly uncorrected) clock: the receiver only advances a vantage's
+// delivery watermark on synced stamps, because a pre-sync stamp is on
+// a clock about to be corrected out from under it. trail is the oldest
+// sequence still held in the sender's retransmit ring — the trailing
+// edge of the transmit window. Anything below it is gone for good, so
+// the receiver abandons those gaps instead of NACKing into the void
+// (the escape hatch for partitions that outlast the ring).
+func AppendHeartbeat(dst []byte, synced bool, trail uint64) []byte {
+	var f uint8
+	if synced {
+		f = hbFlagSynced
+	}
+	var b [HeartbeatLen]byte
+	b[0] = f
+	binary.BigEndian.PutUint64(b[1:], trail)
+	return append(dst, b[:]...)
+}
+
+// DecodeHeartbeat decodes a Heartbeat payload.
+func DecodeHeartbeat(payload []byte) (synced bool, trail uint64) {
+	return payload[0]&hbFlagSynced != 0, binary.BigEndian.Uint64(payload[1:HeartbeatLen])
+}
+
+// AppendRejoin appends a Rejoin payload (restart generation).
+func AppendRejoin(dst []byte, gen uint32) []byte {
+	var b [RejoinLen]byte
+	binary.BigEndian.PutUint32(b[:], gen)
+	return append(dst, b[:]...)
+}
+
+// DecodeRejoin decodes a Rejoin payload.
+func DecodeRejoin(payload []byte) uint32 {
+	return binary.BigEndian.Uint32(payload[:RejoinLen])
+}
