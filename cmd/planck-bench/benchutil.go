@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newRunID mints the identifier stamped into every report a single
+// planck-bench invocation writes. Committed BENCH_*.json artifacts that
+// share a run_id were measured by one process on one host back-to-back —
+// the property that makes cross-report comparisons (serial row here vs
+// serial row there) meaningful. verifyRunIDs enforces it in bench-gate.
+func newRunID() string {
+	return fmt.Sprintf("%s.%d", time.Now().UTC().Format("20060102T150405Z"), os.Getpid())
+}
+
+// measureMin runs fn as a benchmark count times and keeps the minimum
+// ns/op — the least-scheduling-noise estimate of the true per-op cost —
+// while taking the *maximum* allocs/op and bytes/op across runs, so an
+// allocation that appears in any run cannot hide behind a clean one.
+// count < 1 is treated as 1.
+func measureMin(name string, count int, fn func(b *testing.B)) obsBenchRow {
+	if count < 1 {
+		count = 1
+	}
+	row := obsBenchRow{Name: name}
+	for i := 0; i < count; i++ {
+		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if i == 0 || ns < row.NsPerOp {
+			row.NsPerOp = ns
+			row.Iterations = r.N
+		}
+		if a := r.AllocsPerOp(); i == 0 || a > row.AllocsPerOp {
+			row.AllocsPerOp = a
+		}
+		if bb := r.AllocedBytesPerOp(); i == 0 || bb > row.BytesPerOp {
+			row.BytesPerOp = bb
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%-32s %10.1f ns/op %6d allocs/op (min of %d)\n",
+		name, row.NsPerOp, row.AllocsPerOp, count)
+	return row
+}
+
+// writeReport marshals rep to path ("-" for stdout, "" to skip).
+func writeReport(rep any, path string) error {
+	if path == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// verifyRunIDs checks that every report in the comma-separated path list
+// carries the same non-empty run_id — i.e. the committed baselines were
+// regenerated together by one planck-bench run, not patched piecemeal.
+func verifyRunIDs(paths string) error {
+	var want string
+	var checked []string
+	for _, p := range strings.Split(paths, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("verify-run-ids: %w", err)
+		}
+		var rep struct {
+			RunID string `json:"run_id"`
+		}
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return fmt.Errorf("verify-run-ids: parse %s: %w", p, err)
+		}
+		if rep.RunID == "" {
+			return fmt.Errorf("verify-run-ids: %s has no run_id (regenerate with make bench-baselines)", p)
+		}
+		if want == "" {
+			want = rep.RunID
+		} else if rep.RunID != want {
+			return fmt.Errorf("verify-run-ids: %s run_id %q != %s run_id %q (regenerate together with make bench-baselines)",
+				p, rep.RunID, checked[0], want)
+		}
+		checked = append(checked, p)
+	}
+	if len(checked) < 2 {
+		return fmt.Errorf("verify-run-ids: need at least 2 reports, got %d", len(checked))
+	}
+	fmt.Fprintf(os.Stderr, "verify-run-ids: %d reports share run_id %s\n", len(checked), want)
+	return nil
+}

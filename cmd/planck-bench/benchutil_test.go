@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBenchJSON(t *testing.T, dir, name, runID string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	body := `{"gomaxprocs":1,"num_cpu":1,"rows":[]}`
+	if runID != "" {
+		body = `{"run_id":"` + runID + `","gomaxprocs":1,"num_cpu":1,"rows":[]}`
+	}
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestVerifyRunIDsMatch(t *testing.T) {
+	dir := t.TempDir()
+	a := writeBenchJSON(t, dir, "a.json", "r1")
+	b := writeBenchJSON(t, dir, "b.json", "r1")
+	c := writeBenchJSON(t, dir, "c.json", "r1")
+	if err := verifyRunIDs(a + "," + b + ", " + c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRunIDsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	a := writeBenchJSON(t, dir, "a.json", "r1")
+	b := writeBenchJSON(t, dir, "b.json", "r2")
+	err := verifyRunIDs(a + "," + b)
+	if err == nil || !strings.Contains(err.Error(), "run_id") {
+		t.Fatalf("mismatched run ids accepted: %v", err)
+	}
+}
+
+func TestVerifyRunIDsMissing(t *testing.T) {
+	dir := t.TempDir()
+	a := writeBenchJSON(t, dir, "a.json", "r1")
+	b := writeBenchJSON(t, dir, "b.json", "") // no run_id: stale pre-run-id report
+	if err := verifyRunIDs(a + "," + b); err == nil {
+		t.Fatal("report without run_id accepted")
+	}
+	if err := verifyRunIDs(a); err == nil {
+		t.Fatal("single report accepted; the check needs a pair to mean anything")
+	}
+}
+
+// allocSink forces the test allocation to escape to the heap.
+var allocSink []byte
+
+func TestMeasureMinKeepsWorstAllocs(t *testing.T) {
+	// testing.Benchmark invokes fn repeatedly while ramping b.N, but
+	// starts each measurement at b.N == 1 exactly once — that marks the
+	// run boundary. Run 2 of 3 allocates; the row must not hide it.
+	runs := 0
+	row := measureMin("probe", 3, func(b *testing.B) {
+		if b.N == 1 {
+			runs++
+		}
+		if runs == 2 {
+			for i := 0; i < b.N; i++ {
+				allocSink = make([]byte, 64)
+			}
+		}
+	})
+	if row.Name != "probe" || row.AllocsPerOp < 1 {
+		t.Fatalf("allocating run hidden by min: %+v", row)
+	}
+}

@@ -5,3 +5,8 @@ import "testing"
 func BenchmarkIngestSerial(b *testing.B)  { benchIngestMix(b, 0) }
 func BenchmarkIngestBatched(b *testing.B) { benchIngestBatched(b) }
 func BenchmarkTableLookup(b *testing.B)   { benchTableLookup(b) }
+
+func BenchmarkIngestSharded2(b *testing.B) { benchIngestMix(b, 2) }
+func BenchmarkIngestSharded4(b *testing.B) { benchIngestMix(b, 4) }
+
+func BenchmarkIngestView(b *testing.B) { benchIngestView(b) }

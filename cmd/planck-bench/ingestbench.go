@@ -18,49 +18,29 @@ import (
 // replaced. ingest_serial is the gated row — the collector's per-sample
 // budget — so the report also records the parallelism context.
 type ingestBenchReport struct {
+	RunID      string        `json:"run_id,omitempty"`
 	GoMaxProcs int           `json:"gomaxprocs"`
 	NumCPU     int           `json:"num_cpu"`
 	Rows       []obsBenchRow `json:"rows"`
 }
 
-// runIngestBench measures the ingest hot path and writes the rows as
-// JSON to path ("-" for stdout, "" to skip writing). gateAgainst, when
-// non-empty, is a committed baseline report; the run fails if the fresh
-// ingest_serial ns/op regressed more than 5% against it.
-func runIngestBench(path, gateAgainst string) error {
-	rep := ingestBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
-	add := func(name string, r testing.BenchmarkResult) {
-		rep.Rows = append(rep.Rows, obsBenchRow{
-			Name:        name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
-		})
-		fmt.Fprintf(os.Stderr, "%-32s %10.1f ns/op %6d allocs/op\n",
-			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
-	}
+// runIngestBench measures the ingest hot path (each row the minimum of
+// count runs) and writes the rows as JSON to path ("-" for stdout, ""
+// to skip writing). gateAgainst, when non-empty, is a committed
+// baseline report; the run fails if the fresh ingest_serial ns/op
+// regressed more than 5% against it.
+func runIngestBench(path, gateAgainst string, count int, runID string) error {
+	rep := ingestBenchReport{RunID: runID, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 
-	add("ingest_serial", testing.Benchmark(func(b *testing.B) {
+	rep.Rows = append(rep.Rows, measureMin("ingest_serial", count, func(b *testing.B) {
 		benchIngestMix(b, 0)
 	}))
-	add("ingest_batched", testing.Benchmark(benchIngestBatched))
-	add("table_lookup", testing.Benchmark(benchTableLookup))
-	add("map_lookup", testing.Benchmark(benchMapLookup))
+	rep.Rows = append(rep.Rows, measureMin("ingest_batched", count, benchIngestBatched))
+	rep.Rows = append(rep.Rows, measureMin("table_lookup", count, benchTableLookup))
+	rep.Rows = append(rep.Rows, measureMin("map_lookup", count, benchMapLookup))
 
-	if path != "" {
-		out, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		out = append(out, '\n')
-		if path == "-" {
-			if _, err := os.Stdout.Write(out); err != nil {
-				return err
-			}
-		} else if err := os.WriteFile(path, out, 0o644); err != nil {
-			return err
-		}
+	if err := writeReport(rep, path); err != nil {
+		return err
 	}
 
 	if gateAgainst != "" {

@@ -169,7 +169,11 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	obsJSON := flag.String("obs-json", "", "run the observability microbenchmarks, write JSON here (\"-\" = stdout), and exit")
 	shardJSON := flag.String("shard-json", "", "run the sharded-vs-serial ingest benchmarks, write JSON here (\"-\" = stdout), and exit")
+	shardMTJSON := flag.String("shard-mt-json", "", "run the multicore sharded ingest benchmarks under GOMAXPROCS=-mt-cpu (self-gated: sharded rows 0 allocs/op; shards=4 beats serial when the host has ≥2 CPUs), write JSON here (\"-\" = stdout), and exit")
+	mtCPU := flag.Int("mt-cpu", 4, "GOMAXPROCS for the -shard-mt-json run (restored after; the report records the effective value)")
 	ingestJSON := flag.String("ingest-json", "", "run the ingest hot-path benchmarks, write JSON here (\"-\" = stdout), and exit")
+	count := flag.Int("count", 1, "repeat each ingest/shard/shard-mt benchmark N times and report the minimum ns/op (allocs: maximum)")
+	verifyRuns := flag.String("verify-run-ids", "", "comma-separated BENCH_*.json paths: verify they share one run_id (regenerated together) and exit")
 	routeJSON := flag.String("route-json", "", "run the routing-plane benchmarks (commit/view/ingest-with-view), write JSON here (\"-\" = stdout), and exit")
 	traceJSON := flag.String("trace-json", "", "run the idle-tracing overhead benchmarks (self-gated: ≤2% over bare ingest, 0 allocs/op), write JSON here (\"-\" = stdout), and exit")
 	fleetJSON := flag.String("fleet-json", "", "run the aggregation-plane benchmarks (self-gated: per-sample merge rows 0 allocs/op), write JSON here (\"-\" = stdout), and exit")
@@ -182,15 +186,15 @@ func main() {
 		runtime.GOMAXPROCS(*cpu)
 	}
 
-	if *obsJSON != "" {
-		if err := runObsBench(*obsJSON); err != nil {
+	if *verifyRuns != "" {
+		if err := verifyRunIDs(*verifyRuns); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if *shardJSON != "" {
-		if err := runShardBench(*shardJSON); err != nil {
+	if *obsJSON != "" {
+		if err := runObsBench(*obsJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -224,10 +228,29 @@ func main() {
 		}
 		return
 	}
-	if *ingestJSON != "" || *gateAgainst != "" {
-		if err := runIngestBench(*ingestJSON, *gateAgainst); err != nil {
+	// The ingest, shard, and shard-mt reports combine into one process
+	// run: they share a freshly minted run_id, so the committed baselines
+	// are provably from the same host and build (see -verify-run-ids).
+	if *ingestJSON != "" || *gateAgainst != "" || *shardJSON != "" || *shardMTJSON != "" {
+		runID := newRunID()
+		fail := func(err error) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *ingestJSON != "" || *gateAgainst != "" {
+			if err := runIngestBench(*ingestJSON, *gateAgainst, *count, runID); err != nil {
+				fail(err)
+			}
+		}
+		if *shardJSON != "" {
+			if err := runShardBench(*shardJSON, *count, runID); err != nil {
+				fail(err)
+			}
+		}
+		if *shardMTJSON != "" {
+			if err := runShardMTBench(*shardMTJSON, *mtCPU, *count, runID); err != nil {
+				fail(err)
+			}
 		}
 		return
 	}

@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"testing"
 
@@ -16,6 +14,7 @@ import (
 // comparison plus the parallelism the host actually offered, so the
 // numbers can be read honestly (speedup is bounded by GOMAXPROCS).
 type shardBenchReport struct {
+	RunID      string        `json:"run_id,omitempty"`
 	GoMaxProcs int           `json:"gomaxprocs"`
 	NumCPU     int           `json:"num_cpu"`
 	Rows       []obsBenchRow `json:"rows"`
@@ -23,41 +22,22 @@ type shardBenchReport struct {
 
 // runShardBench measures the full ingest pipeline — serial versus the
 // sharded concurrent pipeline at 1, 2, and 4 shards — over a 64-flow
-// TCP mix, and writes the rows as JSON to path ("-" for stdout).
-func runShardBench(path string) error {
-	rep := shardBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
-	add := func(name string, r testing.BenchmarkResult) {
-		rep.Rows = append(rep.Rows, obsBenchRow{
-			Name:        name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
-		})
-		fmt.Fprintf(os.Stderr, "%-32s %10.1f ns/op %6d allocs/op\n",
-			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
-	}
+// TCP mix (each row the minimum of count runs), and writes the rows as
+// JSON to path ("-" for stdout).
+func runShardBench(path string, count int, runID string) error {
+	rep := shardBenchReport{RunID: runID, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 
-	add("ingest_serial", testing.Benchmark(func(b *testing.B) {
+	rep.Rows = append(rep.Rows, measureMin("ingest_serial", count, func(b *testing.B) {
 		benchIngestMix(b, 0)
 	}))
 	for _, shards := range []int{1, 2, 4} {
 		shards := shards
-		add(fmt.Sprintf("ingest_sharded_%d", shards), testing.Benchmark(func(b *testing.B) {
+		rep.Rows = append(rep.Rows, measureMin(fmt.Sprintf("ingest_sharded_%d", shards), count, func(b *testing.B) {
 			benchIngestMix(b, shards)
 		}))
 	}
 
-	out, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
-	if path == "-" {
-		_, err = os.Stdout.Write(out)
-		return err
-	}
-	return os.WriteFile(path, out, 0o644)
+	return writeReport(rep, path)
 }
 
 // benchIngestMix drives 64 interleaved TCP flows through either the

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// shardMTBenchReport is BENCH_shard_mt.json: the sharded pipeline
+// measured with GOMAXPROCS raised to mt-cpu, so the shard workers can
+// actually run in parallel — the multicore counterpart to
+// BENCH_shard.json's same-budget comparison. gomaxprocs and num_cpu
+// record what the host really offered: a speedup row is only meaningful
+// when num_cpu backs the parallelism up with real cores.
+type shardMTBenchReport struct {
+	RunID      string        `json:"run_id,omitempty"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Rows       []obsBenchRow `json:"rows"`
+}
+
+// runShardMTBench measures serial ingest against the sharded pipeline
+// at 1, 2, 4, and 8 shards under GOMAXPROCS=mtCPU (restored after), and
+// writes the rows as JSON to path. Two self-gates ride along:
+//
+//   - allocation: every sharded row must be 0 allocs/op — the
+//     dispatcher/shard/merger hand-off recycles every batch, and any
+//     steady-state allocation is a leak regression;
+//   - speedup: when the host has ≥2 real cores, ingest_sharded_4 must
+//     beat ingest_serial. On a single-core host the ratio measures
+//     scheduler overhead, not scaling, so the gate prints an honest
+//     skip notice instead of a vacuous pass.
+func runShardMTBench(path string, mtCPU, count int, runID string) error {
+	prev := runtime.GOMAXPROCS(0)
+	if mtCPU > 0 {
+		runtime.GOMAXPROCS(mtCPU)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	rep := shardMTBenchReport{RunID: runID, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+
+	rep.Rows = append(rep.Rows, measureMin("ingest_serial", count, func(b *testing.B) {
+		benchIngestMix(b, 0)
+	}))
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		rep.Rows = append(rep.Rows, measureMin(fmt.Sprintf("ingest_sharded_%d", shards), count, func(b *testing.B) {
+			benchIngestMix(b, shards)
+		}))
+	}
+
+	if err := writeReport(rep, path); err != nil {
+		return err
+	}
+
+	for _, r := range rep.Rows {
+		if strings.HasPrefix(r.Name, "ingest_sharded_") && r.AllocsPerOp > 0 {
+			return fmt.Errorf("shard-mt gate: %s allocates %d B/op (%d allocs/op); the hand-off must recycle every batch",
+				r.Name, r.BytesPerOp, r.AllocsPerOp)
+		}
+	}
+
+	find := func(name string) (obsBenchRow, bool) {
+		for _, r := range rep.Rows {
+			if r.Name == name {
+				return r, true
+			}
+		}
+		return obsBenchRow{}, false
+	}
+	serial, ok1 := find("ingest_serial")
+	sh4, ok2 := find("ingest_sharded_4")
+	if !ok1 || !ok2 {
+		return fmt.Errorf("shard-mt gate: report missing ingest_serial or ingest_sharded_4")
+	}
+	if rep.NumCPU < 2 || rep.GoMaxProcs < 2 {
+		fmt.Fprintf(os.Stderr,
+			"shard-mt gate: speedup check skipped: host offers %d CPU (GOMAXPROCS %d); shards cannot run in parallel, so sharded/serial = %.2f measures scheduler overhead, not scaling\n",
+			rep.NumCPU, rep.GoMaxProcs, sh4.NsPerOp/serial.NsPerOp)
+		return nil
+	}
+	if sh4.NsPerOp >= serial.NsPerOp {
+		return fmt.Errorf("shard-mt gate: ingest_sharded_4 %.1f ns/op does not beat ingest_serial %.1f ns/op on %d CPUs (ratio %.2f)",
+			sh4.NsPerOp, serial.NsPerOp, rep.NumCPU, sh4.NsPerOp/serial.NsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "shard-mt gate: ingest_sharded_4 %.1f ns/op beats ingest_serial %.1f ns/op (speedup %.2fx on %d CPUs)\n",
+		sh4.NsPerOp, serial.NsPerOp, serial.NsPerOp/sh4.NsPerOp, rep.NumCPU)
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"planck/internal/obs"
 	"planck/internal/obs/trace"
@@ -242,8 +243,12 @@ type Collector struct {
 	// resolver is the epoch-aware face of mapper, set when the mapper
 	// is a RouteResolver (routing.View). routeEpoch is the epoch the
 	// collector is synced to; flows stamped with a different epoch
-	// re-resolve on their next sample.
+	// re-resolve on their next sample. epochRef, when the resolver is
+	// also an EpochSource, is the publisher's epoch counter: syncRoutes
+	// polls it with one inlined atomic load and skips the virtual
+	// Refresh call entirely while no reroute has been committed.
 	resolver   RouteResolver
+	epochRef   *atomic.Uint64
 	routeEpoch uint64
 
 	dec   packet.Decoded
@@ -306,8 +311,12 @@ func New(cfg Config) *Collector {
 func (c *Collector) SetPortMapper(m PortMapper) {
 	c.mapper = m
 	c.resolver, _ = m.(RouteResolver)
+	c.epochRef = nil
 	if c.resolver != nil {
 		c.routeEpoch = c.resolver.Refresh()
+		if es, ok := m.(EpochSource); ok {
+			c.epochRef = es.EpochRef()
+		}
 	}
 	c.flows.Iterate(func(f *FlowState) { c.remapFlowAt(f.LastSeen, f) })
 }
@@ -319,11 +328,24 @@ func (c *Collector) SetPortMapper(m PortMapper) {
 // stream, while "now" is a property of whichever shard saw the flow
 // last. Called once per Ingest/IngestBatch, never per sample.
 func (c *Collector) syncRoutes() {
-	r := c.resolver
-	if r == nil {
+	if c.resolver == nil {
 		return
 	}
-	if e := r.Refresh(); e != c.routeEpoch {
+	// No-reroute fast path: the publisher's bare epoch counter, read
+	// inline. The slow path (a virtual Refresh re-pinning the history)
+	// only runs when the counter has actually moved — the counter is
+	// stored after the history it names, so a changed read here
+	// guarantees Refresh sees that commit. Keeping the slow path in its
+	// own function keeps this check within the inlining budget, so the
+	// per-Ingest cost is one atomic load with no call.
+	if p := c.epochRef; p != nil && p.Load() == c.routeEpoch {
+		return
+	}
+	c.syncRoutesSlow()
+}
+
+func (c *Collector) syncRoutesSlow() {
+	if e := c.resolver.Refresh(); e != c.routeEpoch {
 		c.routeEpoch = e
 		c.flows.Iterate(func(f *FlowState) { c.remapFlowAt(f.LastSeen, f) })
 	}
@@ -389,9 +411,11 @@ func (c *Collector) Ingest(t units.Time, frame []byte) error {
 	if t < c.now {
 		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, c.now)
 	}
-	c.syncRoutes()
+	if c.resolver != nil {
+		c.syncRoutes()
+	}
 	c.met.samples.IncRelaxed()
-	err := c.ingest(t, frame, 0)
+	err := c.ingest(t, frame, 0, nil, 0)
 	if c.sinkBatch != nil {
 		c.sinkBatch.BatchEnd(t)
 	}
@@ -405,9 +429,11 @@ func (c *Collector) ingestHashed(t units.Time, frame []byte, h uint64) error {
 	if t < c.now {
 		return fmt.Errorf("core: timestamp went backwards: %v after %v", t, c.now)
 	}
-	c.syncRoutes()
+	if c.resolver != nil {
+		c.syncRoutes()
+	}
 	c.met.samples.IncRelaxed()
-	return c.ingest(t, frame, h)
+	return c.ingest(t, frame, h, nil, 0)
 }
 
 // IngestBatch processes a batch of sampled frames, ts[i] stamping
@@ -416,6 +442,14 @@ func (c *Collector) ingestHashed(t units.Time, frame []byte, h uint64) error {
 // the batch's timestamps are non-decreasing (per-frame failures do not
 // stop the batch; they are summarized in a *BatchError). len(ts) must
 // equal len(frames); the frame buffers are only borrowed for the call.
+// batchProbeMinFlows gates IngestBatch's chunk-of-8 probe pipeline:
+// below this population the table's control and record lines all sit in
+// L1/L2 and the prefetch pass costs more than the misses it overlaps,
+// so small tables take the plain loop. At production populations the
+// pipeline turns a chain of dependent cache misses into ~3 overlapped
+// ones per chunk.
+const batchProbeMinFlows = 4096
+
 func (c *Collector) IngestBatch(ts []units.Time, frames [][]byte) error {
 	n := len(ts)
 	if len(frames) < n {
@@ -424,7 +458,9 @@ func (c *Collector) IngestBatch(ts []units.Time, frames [][]byte) error {
 	if n == 0 {
 		return nil
 	}
-	c.syncRoutes()
+	if c.resolver != nil {
+		c.syncRoutes()
+	}
 	if h := c.met.batchSamples; h != nil {
 		h.Observe(int64(n))
 	}
@@ -437,12 +473,51 @@ func (c *Collector) IngestBatch(ts []units.Time, frames [][]byte) error {
 		// No frame can hit the timestamp check, so the whole batch counts
 		// as samples up front with one counter write.
 		c.met.samples.AddRelaxed(int64(n))
-		for i := 0; i < n; i++ {
-			if err := c.ingest(ts[i], frames[i], 0); err != nil {
-				if be == nil {
-					be = &BatchError{Index: i, Err: err}
+		if c.flows.Len() >= batchProbeMinFlows {
+			// Chunk-of-8 probe pipeline: pass 1 hashes each frame and
+			// probes its home control window plus first candidate record,
+			// so the chunk's cache misses overlap instead of serializing
+			// behind one another; pass 2 ingests with the hash and
+			// candidate as hints. Hints stay sound within the batch:
+			// records never move and expiry never runs mid-batch, and
+			// every hint is re-verified against the frame's 5-tuple
+			// before use.
+			var (
+				hs    [8]uint64
+				hint  [8]*FlowState
+				hHash [8]uint64
+			)
+			for base := 0; base < n; base += len(hs) {
+				m := min(len(hs), n-base)
+				for j := range m {
+					h, ok := flowHash(frames[base+j])
+					if !ok {
+						h = 0
+					}
+					hs[j] = h
+					hint[j], hHash[j] = nil, 0
+					if h != 0 {
+						hint[j], hHash[j], _ = c.flows.probeFirst(h)
+					}
 				}
-				be.Failed++
+				for j := range m {
+					i := base + j
+					if err := c.ingest(ts[i], frames[i], hs[j], hint[j], hHash[j]); err != nil {
+						if be == nil {
+							be = &BatchError{Index: i, Err: err}
+						}
+						be.Failed++
+					}
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if err := c.ingest(ts[i], frames[i], 0, nil, 0); err != nil {
+					if be == nil {
+						be = &BatchError{Index: i, Err: err}
+					}
+					be.Failed++
+				}
 			}
 		}
 	} else {
@@ -467,8 +542,14 @@ func (c *Collector) IngestBatch(ts []units.Time, frames [][]byte) error {
 
 // ingest is the hot path shared by Ingest and IngestBatch: the
 // timestamp has been validated and the sample counted by the caller.
-// h is the precomputed flow hash (0 = compute here).
-func (c *Collector) ingest(t units.Time, frame []byte, h uint64) error {
+// h is the precomputed flow hash (0 = compute here). hint, when
+// non-nil, is a candidate record from a batch prefetch pass (with
+// hintHash its cached slot hash); it is fully re-verified before use,
+// so a wrong or stale hint costs only the comparison. Hints are only
+// sound while the record cannot be removed — IngestBatch's chunk-local
+// prefetch satisfies this because expiry never runs mid-batch and
+// records never move.
+func (c *Collector) ingest(t units.Time, frame []byte, h uint64, hint *FlowState, hintHash uint64) error {
 	c.now = t
 	if c.ring != nil {
 		c.ring.Push(t, frame)
@@ -479,20 +560,25 @@ func (c *Collector) ingest(t units.Time, frame []byte, h uint64) error {
 		start = obs.Nanos()
 		t0 = start
 	}
-	if err := c.dec.Decode(frame); err != nil {
-		if timed {
-			now := obs.Nanos()
-			c.met.stageDecode.Observe(now - t0)
-			c.met.ingest.Observe(now - start)
+	// The fast lane handles the dominant frame shape in one flat pass;
+	// everything else (ARP, UDP, options, truncation, errors) takes the
+	// full per-layer decoder, which produces identical results.
+	if !c.dec.DecodeTCPFast(frame) {
+		if err := c.dec.Decode(frame); err != nil {
+			if timed {
+				now := obs.Nanos()
+				c.met.stageDecode.Observe(now - t0)
+				c.met.ingest.Observe(now - start)
+			}
+			// ARP and other non-IP traffic still lands in the ring; it just
+			// carries no sequence stream to estimate from.
+			if c.dec.Has(packet.LayerARP) {
+				c.met.nonTCP.IncRelaxed()
+				return nil
+			}
+			c.met.decodeErrors.IncRelaxed()
+			return err
 		}
-		// ARP and other non-IP traffic still lands in the ring; it just
-		// carries no sequence stream to estimate from.
-		if c.dec.Has(packet.LayerARP) {
-			c.met.nonTCP.IncRelaxed()
-			return nil
-		}
-		c.met.decodeErrors.IncRelaxed()
-		return err
 	}
 	if timed {
 		now := obs.Nanos()
@@ -509,25 +595,37 @@ func (c *Collector) ingest(t units.Time, frame []byte, h uint64) error {
 		}
 		return nil
 	}
-	// The 5-tuple comes straight off the decoder fields: Flow() is not
-	// inlinable and its call would cost a fifth of the hot path.
-	key := packet.FlowKey{
-		SrcIP: c.dec.IP.Src, DstIP: c.dec.IP.Dst,
-		SrcPort: c.dec.TCP.SrcPort, DstPort: c.dec.TCP.DstPort,
-		Proto: c.dec.IP.Protocol,
-	}
+	// Probe scalars. The src‖dst word loads from the frame, not a key
+	// copy: the frame bytes are read-only and cache-hot after Decode, so
+	// the load never stalls on store forwarding (a freshly assembled
+	// FlowKey read back word-wide does — see packet.FlowKey).
+	// NativeEndian to match keyFirstWord's in-memory read of the same
+	// bytes in the resident record.
+	a := binary.NativeEndian.Uint64(frame[packet.EthernetHeaderLen+12 : packet.EthernetHeaderLen+20])
+	sp, dp := c.dec.TCP.SrcPort, c.dec.TCP.DstPort
 	if h == 0 {
-		// Equivalent to HashFlowKey(key), spelled out because that call
-		// exceeds the inlining budget while mixFlowHash fits. The src‖dst
-		// word loads from the frame, not the key copy: the frame bytes are
-		// read-only and cache-hot after Decode.
-		a := binary.BigEndian.Uint64(frame[packet.EthernetHeaderLen+12 : packet.EthernetHeaderLen+20])
-		h = mixFlowHash(a, uint64(key.SrcPort)<<24|uint64(key.DstPort)<<8|uint64(key.Proto))
+		// Equivalent to HashFlowKey of the 5-tuple, spelled out because
+		// that call exceeds the inlining budget while mixFlowHash fits.
+		h = mixFlowHash(a, uint64(sp)<<24|uint64(dp)<<8|uint64(c.dec.IP.Protocol))
 	}
-	// Lookup inlines; GetOrInsert (the rare miss) does not.
-	f, inserted := c.flows.Lookup(h, key), false
+	// A batch hint that survives the same verification LookupScalar
+	// performs is the record — the probe is already paid for. Otherwise
+	// LookupScalar probes without materialising a FlowKey; GetOrInsert
+	// (the rare insert) builds one and does not inline.
+	var f *FlowState
+	inserted := false
+	if hint != nil && hintHash == h && keyFirstWord(&hint.Key) == a &&
+		hint.Key.SrcPort == sp && hint.Key.DstPort == dp && hint.Key.Proto == c.dec.IP.Protocol {
+		f = hint
+	} else {
+		f = c.flows.LookupScalar(h, a, sp, dp, c.dec.IP.Protocol)
+	}
 	if f == nil {
-		f, inserted = c.flows.GetOrInsert(h, key)
+		f, inserted = c.flows.GetOrInsert(h, packet.FlowKey{
+			SrcIP: c.dec.IP.Src, DstIP: c.dec.IP.Dst,
+			SrcPort: sp, DstPort: dp,
+			Proto: c.dec.IP.Protocol,
+		})
 	}
 	if inserted {
 		f.FirstSeen = t
@@ -546,7 +644,13 @@ func (c *Collector) ingest(t units.Time, frame []byte, h uint64) error {
 
 	if f.DstMAC != c.dec.Eth.Dst || f.outPort < 0 || f.routeEpoch != c.routeEpoch {
 		f.DstMAC = c.dec.Eth.Dst
-		c.remapFlowAt(t, f)
+		// Without routing state remapFlowAt is a no-op (the flow stays
+		// unmapped at outPort -1), so routeless collectors — including
+		// every per-shard sub-collector, which defers routing to the
+		// merger — skip the call.
+		if c.mapper != nil {
+			c.remapFlowAt(t, f)
+		}
 	}
 	if timed {
 		now := obs.Nanos()
@@ -558,11 +662,11 @@ func (c *Collector) ingest(t units.Time, frame []byte, h uint64) error {
 		flags := c.dec.TCP.Flags
 		if flags&packet.TCPSyn != 0 && flags&packet.TCPAck == 0 {
 			for _, fn := range c.boundary {
-				fn(t, key, FlowStart)
+				fn(t, f.Key, FlowStart)
 			}
 		} else if flags&(packet.TCPFin|packet.TCPRst) != 0 {
 			for _, fn := range c.boundary {
-				fn(t, key, FlowEnd)
+				fn(t, f.Key, FlowEnd)
 			}
 		}
 	}
@@ -645,7 +749,13 @@ func (c *Collector) ingestUDP(t units.Time, frame []byte, h uint64) {
 	f.SampledBytes += int64(c.dec.WireLen)
 	if f.DstMAC != c.dec.Eth.Dst || f.outPort < 0 || f.routeEpoch != c.routeEpoch {
 		f.DstMAC = c.dec.Eth.Dst
-		c.remapFlowAt(t, f)
+		// Without routing state remapFlowAt is a no-op (the flow stays
+		// unmapped at outPort -1), so routeless collectors — including
+		// every per-shard sub-collector, which defers routing to the
+		// merger — skip the call.
+		if c.mapper != nil {
+			c.remapFlowAt(t, f)
+		}
 	}
 	updated := f.Pkt.Observe(t, seq, c.dec.WireLen)
 	if updated {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"planck/internal/packet"
@@ -18,6 +19,49 @@ func ftKey(rng *rand.Rand) packet.FlowKey {
 		SrcPort: uint16(rng.Intn(64)),
 		DstPort: uint16(2000 + rng.Intn(2)),
 		Proto:   packet.IPProtocolTCP,
+	}
+}
+
+// checkCtrlInvariants asserts the Swiss-table control array's standing
+// invariants against the slot array it summarizes: every empty slot's
+// byte is ctrlEmpty and every occupied slot's byte is exactly
+// ctrlTag(hash) (occupancy bit + top-7 tag); the live count matches;
+// and the wrap-mirror tail equals the first groupWidth-1 head bytes, so
+// unaligned windows read wrapped slots correctly.
+func checkCtrlInvariants(t *testing.T, tab *FlowTable) {
+	t.Helper()
+	if tab.slots == nil {
+		if tab.count != 0 {
+			t.Fatalf("ctrl invariant: no slots but count %d", tab.count)
+		}
+		return
+	}
+	n := uint64(len(tab.slots))
+	if uint64(len(tab.ctrl)) != n+groupWidth-1 {
+		t.Fatalf("ctrl invariant: len(ctrl) %d, want %d slots + %d mirror", len(tab.ctrl), n, groupWidth-1)
+	}
+	live := 0
+	for i := range tab.slots {
+		s := &tab.slots[i]
+		c := tab.ctrl[i]
+		if s.f == nil {
+			if c != ctrlEmpty {
+				t.Fatalf("ctrl invariant: slot %d empty but ctrl %#02x", i, c)
+			}
+			continue
+		}
+		live++
+		if want := ctrlTag(s.hash); c != want {
+			t.Fatalf("ctrl invariant: slot %d ctrl %#02x, want tag %#02x of hash %#x", i, c, want, s.hash)
+		}
+	}
+	if live != tab.count {
+		t.Fatalf("ctrl invariant: %d occupied slots, count %d", live, tab.count)
+	}
+	for j := uint64(0); j < groupWidth-1; j++ {
+		if tab.ctrl[n+j] != tab.ctrl[j] {
+			t.Fatalf("ctrl invariant: mirror byte %d is %#02x, head byte is %#02x", j, tab.ctrl[n+j], tab.ctrl[j])
+		}
 	}
 }
 
@@ -90,8 +134,10 @@ func TestFlowTableDifferential(t *testing.T) {
 					t.Fatalf("seed %d op %d: iterate saw %d, Len %d, oracle %d",
 						seed, op, len(seen), tab.Len(), len(oracle))
 				}
+				checkCtrlInvariants(t, &tab)
 			}
 		}
+		checkCtrlInvariants(t, &tab)
 		for k, of := range oracle {
 			if tab.Lookup(HashFlowKey(k), k) != of {
 				t.Fatalf("seed %d: final sweep lost %v", seed, k)
@@ -153,8 +199,134 @@ func TestFlowTableBackwardShiftWrapAround(t *testing.T) {
 					t.Fatalf("trial %d: removing %v orphaned %v", trial, e.k, o.k)
 				}
 			}
+			checkCtrlInvariants(t, &tab)
 		}
 	}
+}
+
+// TestFlowTableLookupBatchEquivalence pins the batch probe's contract:
+// LookupBatch over any slice of (hash, key) pairs — hits, misses,
+// duplicates, chunks that are not a multiple of the group width — is
+// element-wise identical to calling Lookup, across table states from
+// empty through grown and churned.
+func TestFlowTableLookupBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tab FlowTable
+	oracle := map[packet.FlowKey]*FlowState{}
+	var live []packet.FlowKey
+
+	checkBatch := func(stage string) {
+		for _, n := range []int{0, 1, 3, 8, 13, 64, 200} {
+			keys := make([]packet.FlowKey, n)
+			hs := make([]uint64, n)
+			out := make([]*FlowState, n)
+			for i := range keys {
+				keys[i] = ftKey(rng) // small key space: mixes hits and misses
+				hs[i] = HashFlowKey(keys[i])
+			}
+			if got := tab.LookupBatch(hs, keys, out); got != n {
+				t.Fatalf("%s n=%d: LookupBatch resolved %d", stage, n, got)
+			}
+			for i := range keys {
+				if want := tab.Lookup(hs[i], keys[i]); out[i] != want {
+					t.Fatalf("%s n=%d i=%d: LookupBatch(%v) = %p, Lookup = %p",
+						stage, n, i, keys[i], out[i], want)
+				}
+				if out[i] != oracle[keys[i]] {
+					t.Fatalf("%s n=%d i=%d: batch result for %v disagrees with oracle", stage, n, i, keys[i])
+				}
+			}
+		}
+	}
+
+	checkBatch("empty")
+	for i := 0; i < 1200; i++ {
+		k := ftKey(rng)
+		if _, ok := oracle[k]; !ok {
+			f, _ := tab.GetOrInsert(HashFlowKey(k), k)
+			oracle[k] = f
+			live = append(live, k)
+		}
+	}
+	checkBatch("grown")
+	for i := 0; i < 600 && len(live) > 0; i++ { // churn: backward-shift deletions
+		j := rng.Intn(len(live))
+		k := live[j]
+		tab.Remove(oracle[k])
+		delete(oracle, k)
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	checkBatch("churned")
+	checkCtrlInvariants(t, &tab)
+}
+
+// TestFlowTableProbeP99UnderChurn holds the probe-length distribution
+// to a bound after sustained insert/remove churn at the table's
+// steady-state load. Backward-shift deletion leaves no tombstones, so
+// chains must stay as tight after 30k churn operations as after a
+// fresh bulk load: p99 within one probe group, max within a handful.
+func TestFlowTableProbeP99UnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var tab FlowTable
+	type rec struct {
+		k packet.FlowKey
+		f *FlowState
+	}
+	byKey := map[packet.FlowKey]*FlowState{}
+	var live []rec
+	mk := func() packet.FlowKey {
+		return packet.FlowKey{
+			SrcIP:   packet.IPv4{10, byte(rng.Intn(64)), 0, byte(rng.Intn(256))},
+			DstIP:   packet.IPv4{10, 0, 1, byte(rng.Intn(64))},
+			SrcPort: uint16(rng.Intn(1 << 14)), DstPort: 443,
+			Proto: packet.IPProtocolTCP,
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		k := mk()
+		if _, ok := byKey[k]; ok {
+			continue
+		}
+		f, _ := tab.GetOrInsert(HashFlowKey(k), k)
+		byKey[k] = f
+		live = append(live, rec{k, f})
+	}
+	for op := 0; op < 30000; op++ { // remove one, insert one: load stays put
+		j := rng.Intn(len(live))
+		tab.Remove(live[j].f)
+		delete(byKey, live[j].k)
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+		for {
+			k := mk()
+			if _, ok := byKey[k]; ok {
+				continue
+			}
+			f, _ := tab.GetOrInsert(HashFlowKey(k), k)
+			byKey[k] = f
+			live = append(live, rec{k, f})
+			break
+		}
+	}
+
+	var lens []int
+	for j := range tab.slots {
+		s := &tab.slots[j]
+		if s.f != nil {
+			lens = append(lens, int((uint64(j)-s.hash)&tab.mask))
+		}
+	}
+	sort.Ints(lens)
+	p99 := lens[len(lens)*99/100]
+	max := lens[len(lens)-1]
+	if p99 >= groupWidth {
+		t.Fatalf("probe p99 %d after churn; an un-decayed table keeps p99 within one group (< %d)", p99, groupWidth)
+	}
+	if max >= 4*groupWidth {
+		t.Fatalf("probe max %d after churn; backward-shift deletion must keep chains short", max)
+	}
+	checkCtrlInvariants(t, &tab)
 }
 
 // TestFlowHashMatchesKeyHash checks the contract that lets one hash
@@ -261,5 +433,6 @@ func FuzzFlowTable(f *testing.F) {
 				t.Fatalf("final sweep lost %v", k)
 			}
 		}
+		checkCtrlInvariants(t, &tab)
 	})
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"planck/internal/packet"
 	"planck/internal/units"
 )
@@ -44,6 +46,20 @@ type RouteResolver interface {
 	// store for use by another goroutine (each shard worker pins its
 	// own view; pinning mutates the view, so views are not shared).
 	Fork() RouteResolver
+}
+
+// EpochSource is an optional RouteResolver extension exposing the
+// published routing epoch as a shared atomic counter. A collector that
+// finds it caches the pointer at SetPortMapper time and turns the
+// per-Ingest epoch check into one inlined atomic load — skipping the
+// virtual Refresh call entirely on the no-change path, which is every
+// call between reroutes. The publisher must store the new epoch only
+// after the state it names is visible, so a changed counter read here
+// guarantees a subsequent Refresh observes that state.
+type EpochSource interface {
+	// EpochRef returns the counter holding the current published epoch.
+	// The pointer is stable for the resolver's lifetime.
+	EpochRef() *atomic.Uint64
 }
 
 var (

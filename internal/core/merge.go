@@ -156,6 +156,7 @@ func (m *merger) run() {
 		select {
 		case m.sc.freeRe[rb.shard] <- rb:
 		default:
+			m.sc.recPool.Put(rb)
 		}
 		m.maybeAck()
 	}

@@ -207,14 +207,28 @@ type ShardedCollector struct {
 	now      units.Time
 	seq      uint64
 	sweepSeq uint64 // seq at the last partial-batch sweep
+	snap     int    // arena copy limit: headers + everything ingest reads
 	ring     *Ring
 	closed   bool
+
+	// batchPool and recPool backstop the bounded free channels. The
+	// channels satisfy the steady state; the pools absorb scheduling
+	// bursts — when fewer cores than goroutines run, a producer can
+	// drain its free channel dry (and a consumer can find its free
+	// channel full) many times per timeslice, and without the backstop
+	// every such moment allocated a fresh batch (the stray bytes/op the
+	// sharded benchmarks used to leak).
+	batchPool sync.Pool
+	recPool   sync.Pool
 
 	// resolver is the dispatcher's own pin on the versioned routing
 	// plane, set when SetPortMapper is handed a RouteResolver; each
 	// shard worker holds an independent Fork. routeEpoch is the epoch
-	// the pipeline was last synced to at a batch boundary.
+	// the pipeline was last synced to at a batch boundary. epochRef,
+	// when the resolver is an EpochSource, lets the per-Ingest epoch
+	// check run as one inlined atomic load (see Collector.syncRoutes).
 	resolver   RouteResolver
+	epochRef   *atomic.Uint64
 	routeEpoch uint64
 
 	idAlloc atomic.Int32
@@ -275,6 +289,19 @@ func NewSharded(cfg ShardedConfig) *ShardedCollector {
 		s.in[i] = make(chan *sampleBatch, cfg.Queue)
 		s.freeIn[i] = make(chan *sampleBatch, cfg.Queue+2)
 		s.freeRe[i] = make(chan *recBatch, cfg.Queue+2)
+	}
+	// Arena snap length: the shard's decode and estimator paths read
+	// headers only (maximal IPv4 + TCP options), every payload-derived
+	// quantity (PayloadLen, WireLen) coming from the IP TotalLen field —
+	// so the dispatcher copies at most this many bytes per IPv4 frame
+	// into the hand-off arena instead of a full MTU. With the UDP
+	// sequence probe enabled the shard also reads 4 payload bytes at the
+	// configured offset; extend the snap to cover them.
+	s.snap = packet.EthernetHeaderLen + 60 + 60
+	if cfg.UDPSeqEnabled {
+		if u := packet.EthernetHeaderLen + 60 + packet.UDPHeaderLen + cfg.UDPSeqOffset + 4; u > s.snap {
+			s.snap = u
+		}
 	}
 	if cfg.RingPackets > 0 {
 		s.ring = NewRing(cfg.RingPackets)
@@ -343,8 +370,12 @@ func (s *ShardedCollector) SetPortMapper(m PortMapper) {
 	s.Flush()
 	rr, _ := m.(RouteResolver)
 	s.resolver = rr
+	s.epochRef = nil
 	if rr != nil {
 		s.routeEpoch = rr.Refresh()
+		if es, ok := m.(EpochSource); ok {
+			s.epochRef = es.EpochRef()
+		}
 	}
 	for _, w := range s.workers {
 		wm := m
@@ -386,6 +417,11 @@ func (s *ShardedCollector) syncRoutes() {
 	if rr == nil {
 		return
 	}
+	// No-reroute fast path: one inlined atomic load of the publisher's
+	// epoch counter (see Collector.syncRoutes for the ordering argument).
+	if p := s.epochRef; p != nil && p.Load() == s.routeEpoch {
+		return
+	}
 	e := rr.Refresh()
 	if e == s.routeEpoch {
 		return
@@ -412,11 +448,11 @@ func (s *ShardedCollector) SubscribeFlowBoundaries(fn func(t units.Time, key pac
 
 // flowShard hash-partitions a frame by its transport 5-tuple, peeking
 // at the raw bytes (the full decode happens on the shard). The hash is
-// the table hash — mixFlowHash over the packed tuple words, avalanched
-// by fmix64 so flow populations with correlated low bytes (sequential
-// ports, sequential addresses) spread across shards under the modulo —
-// and it rides the batch to the shard, whose flow table probes with it
-// instead of rehashing. Frames without a recognizable transport flow
+// the table hash — mixFlowHash over the packed tuple words, whose
+// multiply-fold avalanches every input bit so flow populations with
+// correlated low bytes (sequential ports, sequential addresses) spread
+// across shards under the modulo — and it rides the batch to the
+// shard, whose flow table probes with it instead of rehashing. Frames without a recognizable transport flow
 // carry no flow-table state, so any stable assignment works; they go
 // to shard 0 with hash 0 ("not precomputed").
 func (s *ShardedCollector) flowShard(frame []byte) (int, uint64) {
@@ -500,6 +536,13 @@ func (s *ShardedCollector) ingestOne(t units.Time, frame []byte) {
 		s.sweep()
 	}
 	sh, h := s.flowShard(frame)
+	// Snap the arena copy to the header-covering prefix (see s.snap).
+	// Only IPv4 frames are safe to cut: for other ethertypes WireLen is
+	// the capture length, which truncation would change. The ring above
+	// always keeps the full frame.
+	if len(frame) > s.snap && frame[12] == 0x08 && frame[13] == 0x00 {
+		frame = frame[:s.snap]
+	}
 	b := s.pending[sh]
 	if b == nil {
 		b = s.getBatch(sh)
@@ -568,8 +611,12 @@ func (s *ShardedCollector) getBatch(sh int) *sampleBatch {
 		b.reset()
 		return b
 	default:
-		return newSampleBatch(s.cfg.Batch)
 	}
+	if b, _ := s.batchPool.Get().(*sampleBatch); b != nil {
+		b.reset()
+		return b
+	}
+	return newSampleBatch(s.cfg.Batch)
 }
 
 // Flush drains the pipeline: every sample accepted before the call is
@@ -628,6 +675,7 @@ func (s *ShardedCollector) shardLoop(id int) {
 		select {
 		case s.freeIn[id] <- b:
 		default:
+			s.batchPool.Put(b)
 		}
 	}
 	w.flushRecs()
@@ -641,7 +689,14 @@ func (w *shardWorker) nextRec() *outRec {
 			rb.barrier = nil
 			w.rb = rb
 		default:
-			w.rb = &recBatch{shard: w.id, recs: make([]outRec, 0, w.sc.cfg.Batch)}
+			if rb, _ := w.sc.recPool.Get().(*recBatch); rb != nil {
+				rb.shard = w.id // pooled batches cross shards
+				rb.recs = rb.recs[:0]
+				rb.barrier = nil
+				w.rb = rb
+			} else {
+				w.rb = &recBatch{shard: w.id, recs: make([]outRec, 0, w.sc.cfg.Batch)}
+			}
 		}
 	}
 	w.rb.recs = append(w.rb.recs, outRec{})

@@ -33,6 +33,24 @@ func FuzzDecode(f *testing.F) {
 	f.Add(raw)
 
 	f.Fuzz(func(t *testing.T, b []byte) {
+		// The fast lane must be invisible: when DecodeTCPFast accepts a
+		// frame, its result is bit-identical to the full decoder's, and
+		// the full decoder must not error; when it declines, it must not
+		// have touched the receiver (decoders are reused across frames).
+		sentinel := Decoded{PayloadLen: -12345, WireLen: -54321, Layers: LayerARP}
+		fast := sentinel
+		if fast.DecodeTCPFast(b) {
+			var full Decoded
+			if err := full.Decode(b); err != nil {
+				t.Fatalf("DecodeTCPFast accepted a frame Decode rejects: %v", err)
+			}
+			if fast != full {
+				t.Fatalf("fast/full decode mismatch:\nfast %+v\nfull %+v", fast, full)
+			}
+		} else if fast != sentinel {
+			t.Fatalf("DecodeTCPFast declined but mutated the receiver: %+v", fast)
+		}
+
 		var d Decoded
 		if err := d.Decode(b); err != nil {
 			return

@@ -54,6 +54,12 @@ type Store struct {
 
 	mu  sync.Mutex // serializes Commit
 	cur atomic.Pointer[history]
+
+	// epoch mirrors cur's head epoch as a bare counter, stored strictly
+	// after cur on Commit. Collectors poll it through View.EpochRef on
+	// every Ingest — one inlined atomic load — and only pay for a full
+	// Refresh when it moves.
+	epoch atomic.Uint64
 }
 
 // NewStore builds a store over net, seeded with epoch 0: base tree 0
@@ -124,6 +130,10 @@ func (s *Store) Commit(at units.Time, mutate func(*Tx)) *Snapshot {
 		snaps = snaps[:HistoryDepth]
 	}
 	s.cur.Store(&history{snaps: snaps})
+	// Publish the epoch only after the history it names is visible: an
+	// EpochRef poller that sees next.epoch is guaranteed a subsequent
+	// cur.Load observes this (or a later) commit.
+	s.epoch.Store(next.epoch)
 	return &next
 }
 

@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"sync/atomic"
+
 	"planck/internal/core"
 	"planck/internal/packet"
 	"planck/internal/topo"
@@ -55,6 +57,11 @@ func (v *View) Refresh() uint64 {
 
 // Fork implements core.RouteResolver.
 func (v *View) Fork() core.RouteResolver { return NewView(v.store, v.sw) }
+
+// EpochRef implements core.EpochSource: the store's published-epoch
+// counter, letting collectors detect "no reroute since last sample"
+// with one inlined atomic load instead of a Refresh call.
+func (v *View) EpochRef() *atomic.Uint64 { return &v.store.epoch }
 
 // OutputPort implements core.PortMapper: static shadow-MAC table
 // lookup on the pinned current epoch. The table is epoch-invariant
