@@ -5,7 +5,7 @@ GO ?= go
 # offline machines with a cold cache.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke trace-smoke fleet-smoke link-smoke soak-reorder staticcheck check bench bench-obs bench-baselines bench-shard bench-shard-mt bench-ingest bench-route bench-trace bench-fleet bench-link bench-gate clean
+.PHONY: all build vet test race race-fast fuzz-smoke chaos-smoke trace-smoke fleet-smoke link-smoke governor-smoke soak-reorder staticcheck check bench bench-obs bench-baselines bench-shard bench-shard-mt bench-ingest bench-route bench-trace bench-fleet bench-link bench-governor bench-gate clean
 
 all: check
 
@@ -27,7 +27,7 @@ test: vet
 # package's fleet-over-transport suites push it past go test's default
 # 10-minute ceiling on small machines, hence the explicit timeout.
 race-fast: vet
-	$(GO) test -race -timeout 25m ./internal/obs/ ./internal/core/ ./internal/counters/ ./internal/sim/ ./internal/packet/ ./internal/lab/ ./internal/routing/ ./internal/agg/ ./internal/vantagelink/ .
+	$(GO) test -race -timeout 25m ./internal/obs/ ./internal/core/ ./internal/counters/ ./internal/sim/ ./internal/packet/ ./internal/lab/ ./internal/routing/ ./internal/governor/ ./internal/agg/ ./internal/vantagelink/ .
 
 # The experiments suite runs ~7 min uninstrumented; give the race
 # build room beyond go test's 10-minute default.
@@ -78,6 +78,15 @@ fleet-smoke: vet
 link-smoke: vet
 	$(GO) run ./cmd/planck-scale -run -k 4 -seed 7 -transport udp -link-loss 0.05 > /dev/null
 
+# governor-smoke runs the TE workload with a sampling-rate governor on
+# every monitored switch — the mirror taps oversubscribe their monitor
+# ports, so each governor must detect saturation from its estimator,
+# commit at least one shed/tune episode through the snapshot plane, and
+# close at least one loop (estimator-confirmed recovery past the
+# threshold); planck-sim exits nonzero otherwise.
+governor-smoke: vet
+	$(GO) run ./cmd/planck-sim -size 20MiB -seed 1 -govern-min 1 > /dev/null
+
 # soak-reorder replays the fleet capture through the transport with
 # per-vantage clock skew across ReorderWindow settings {1ms, 5ms, 20ms}
 # and checks the merged stream stays bit-identical to the unskewed
@@ -103,7 +112,7 @@ staticcheck:
 # check is the tier-1 gate: everything must compile, vet clean, lint
 # clean (where staticcheck is available), pass, and hold the committed
 # ingest hot-path budget.
-check: vet build test race-fast staticcheck trace-smoke fleet-smoke link-smoke soak-reorder bench-gate
+check: vet build test race-fast staticcheck trace-smoke fleet-smoke link-smoke governor-smoke soak-reorder bench-gate
 
 # bench runs the per-figure testing.B targets once each.
 bench: vet
@@ -117,10 +126,12 @@ bench-obs: vet
 
 # bench-baselines regenerates every committed ingest baseline —
 # BENCH_ingest.json (serial hot path, the bench-gate budget),
-# BENCH_shard.json (sharded vs serial at the same CPU budget), and
-# BENCH_shard_mt.json (sharded under GOMAXPROCS=4) — in ONE
-# planck-bench process, so all three carry the same run_id and were
-# measured on the same host and build (bench-gate verifies this).
+# BENCH_shard.json (sharded vs serial at the same CPU budget),
+# BENCH_shard_mt.json (sharded under GOMAXPROCS=4), and
+# BENCH_governor.json (the sampling-rate governor's estimator and tick
+# costs) — in ONE planck-bench process, so all four carry the same
+# run_id and were measured on the same host and build (bench-gate
+# verifies this).
 # Pinned to one CPU so the gated serial row is the per-sample budget,
 # not a scheduling artifact; the shard-mt pass raises its own
 # GOMAXPROCS via -mt-cpu and restores it. -count 3 keeps the minimum
@@ -129,7 +140,8 @@ bench-baselines: vet
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -count 3 \
 		-ingest-json BENCH_ingest.json \
 		-shard-json BENCH_shard.json \
-		-shard-mt-json BENCH_shard_mt.json
+		-shard-mt-json BENCH_shard_mt.json \
+		-governor-json BENCH_governor.json
 
 # The per-report names delegate to bench-baselines: regenerating one
 # report alone would break the shared-run_id invariant bench-gate
@@ -137,6 +149,7 @@ bench-baselines: vet
 bench-shard: bench-baselines
 bench-shard-mt: bench-baselines
 bench-ingest: bench-baselines
+bench-governor: bench-baselines
 
 # bench-route measures the routing-state plane into BENCH_route.json:
 # snapshot commit cost, view resolve/refresh (self-gated to 0 allocs/op
@@ -166,7 +179,7 @@ bench-fleet: vet
 bench-link: vet
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -link-json BENCH_link.json
 
-# bench-gate protects the ingest perf contract end to end: the three
+# bench-gate protects the ingest perf contract end to end: the four
 # committed baselines must share one run_id (regenerated together via
 # bench-baselines); fresh ingest_serial must hold the committed budget
 # within 5%; the multicore sharded pipeline must stay allocation-free
@@ -175,16 +188,18 @@ bench-link: vet
 # Then the routing-plane self-gates (view rows 0 allocs/op, ingest_view
 # within +5% of same-run ingest_serial), the tracer's idle-overhead
 # self-gate (traced ingest 0 allocs/op, within +2% of bare), the
-# aggregation plane's per-sample 0 allocs/op self-gate, and the wire
-# codec's per-record 0 allocs/op self-gate.
+# aggregation plane's per-sample 0 allocs/op self-gate, the wire
+# codec's per-record 0 allocs/op self-gate, and the governor's
+# estimator-update 0 allocs/op self-gate.
 bench-gate: vet
-	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -verify-run-ids BENCH_ingest.json,BENCH_shard.json,BENCH_shard_mt.json
+	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -verify-run-ids BENCH_ingest.json,BENCH_shard.json,BENCH_shard_mt.json,BENCH_governor.json
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -count 3 -ingest-json - -gate-against BENCH_ingest.json
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -count 3 -shard-mt-json -
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -route-json -
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -trace-json -
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -fleet-json -
 	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -link-json -
+	GOMAXPROCS=1 $(GO) run ./cmd/planck-bench -governor-json -
 
 clean:
 	rm -f BENCH_obs.json BENCH_shard.json BENCH_shard_mt.json BENCH_route.json BENCH_trace.json BENCH_fleet.json BENCH_link.json

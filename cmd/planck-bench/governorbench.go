@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"planck/internal/governor"
+	"planck/internal/packet"
+	"planck/internal/routing"
+	"planck/internal/sflow"
+	"planck/internal/stats"
+	"planck/internal/topo"
+	"planck/internal/units"
+)
+
+// govBenchReport is BENCH_governor.json: the sampling-rate governor's
+// cost model. governor_estimator_observe is the per-packet price of the
+// sFlow offer path (every switched packet on a supervised or governed
+// switch pays it) and governor_estimator_record is the per-port counter
+// fold (once per port per tick, and per supervisor heartbeat); both
+// must stay allocation-free. governor_tick prices one full healthy
+// control round — counter poll, window aggregation, saturation check —
+// which runs once per millisecond per governed switch and is reported
+// alongside an aggregate-read row.
+type govBenchReport struct {
+	RunID      string        `json:"run_id,omitempty"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Rows       []obsBenchRow `json:"rows"`
+}
+
+// runGovernorBench measures the governor's hot paths and writes the
+// rows as JSON to path ("-" for stdout). Self-gates: both estimator
+// update rows must be 0 allocs/op.
+func runGovernorBench(path string, count int, runID string) error {
+	rep := govBenchReport{RunID: runID, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	rows := map[string]obsBenchRow{}
+	add := func(name string, fn func(b *testing.B)) {
+		row := measureMin(name, count, fn)
+		rep.Rows = append(rep.Rows, row)
+		rows[name] = row
+	}
+
+	add("governor_estimator_observe", benchGovEstimatorObserve)
+	add("governor_estimator_record", benchGovEstimatorRecord)
+	add("governor_estimator_aggregate", benchGovEstimatorAggregate)
+	add("governor_tick", benchGovTick)
+
+	if err := writeReport(rep, path); err != nil {
+		return err
+	}
+
+	for _, name := range []string{"governor_estimator_observe", "governor_estimator_record"} {
+		if r := rows[name]; r.AllocsPerOp != 0 {
+			return fmt.Errorf("governor bench: %s allocates (%d allocs/op); the estimator update path must be allocation-free", name, r.AllocsPerOp)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "governor bench: estimator update rows allocation-free")
+	return nil
+}
+
+// govBenchEstimator builds the estimator at the smoke profile's shape:
+// a 32-port switch with a 1-in-64 software sampler.
+func govBenchEstimator() *governor.RateEstimator {
+	return governor.NewRateEstimator(governor.EstimatorConfig{
+		SFlow: sflow.Config{SampleRate: 64, ControlPlaneCap: 200000},
+		Seed:  1,
+	}, 32)
+}
+
+// benchGovEstimatorObserve measures the sFlow offer path: one switched
+// packet offered to the sampler, which selects ~1/64 of them into a
+// window bucket. This is the estimator's per-packet price on every
+// governed or supervised switch.
+func benchGovEstimatorObserve(b *testing.B) {
+	est := govBenchEstimator()
+	key := packet.FlowKey{
+		SrcIP: topo.HostIP(0), DstIP: topo.HostIP(1),
+		SrcPort: 1000, DstPort: 5001, Proto: packet.IPProtocolTCP,
+	}
+	var t units.Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Observe(t, i&15, key, 1500)
+		t = t.Add(units.Duration(1200)) // ≈10 Gbps of 1500B frames
+	}
+}
+
+// benchGovEstimatorRecord measures the counter fold: one port's
+// cumulative mirror counters landed in the window as deltas. Runs once
+// per port per governor tick (and per supervisor heartbeat), with the
+// counters always advancing — the delta path, not the baseline path.
+func benchGovEstimatorRecord(b *testing.B) {
+	est := govBenchEstimator()
+	var queued, dropped stats.Counter
+	var t units.Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queued.Add(1500)
+		if i&3 == 0 {
+			dropped.Add(1500)
+		}
+		est.RecordMirrorCounters(t, i&15, queued, dropped)
+		t = t.Add(units.Duration(1200))
+	}
+}
+
+// benchGovEstimatorAggregate measures the switch-wide estimate read:
+// every port's window summed into one Estimate. The governor pays this
+// once per tick; the supervisor's dark-feed check reads single ports.
+func benchGovEstimatorAggregate(b *testing.B) {
+	est := govBenchEstimator()
+	var queued, dropped stats.Counter
+	t := units.Time(units.Millisecond)
+	for p := 0; p < est.NumPorts(); p++ {
+		est.RecordMirrorCounters(0, p, stats.Counter{}, stats.Counter{})
+		queued.Add(1500 * 100)
+		dropped.Add(1500 * 50)
+		est.RecordMirrorCounters(t, p, queued, dropped)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if est.Aggregate(t).Samples == 0 {
+			b.Fatal("empty window; the bench is reading dead buckets")
+		}
+	}
+}
+
+// govBenchVantage is a counter-backed Vantage: 32 ports, monitor on the
+// last, every other port mirrored and advancing its admitted counter
+// drop-free — the governor's healthy steady state.
+type govBenchVantage struct {
+	queued []stats.Counter
+	mon    int
+}
+
+func (v *govBenchVantage) NumPorts() int    { return len(v.queued) }
+func (v *govBenchVantage) MonitorPort() int { return v.mon }
+func (v *govBenchVantage) PortMirrored(p int) bool {
+	return p != v.mon
+}
+func (v *govBenchVantage) MirrorPortCounters(p int) (stats.Counter, stats.Counter) {
+	return v.queued[p], stats.Counter{}
+}
+
+// govBenchActuator must never fire in the healthy steady state.
+type govBenchActuator struct{ commits int }
+
+func (a *govBenchActuator) CommitMirror(units.Time, uint64, func(*routing.Tx), func(units.Time)) int {
+	a.commits++
+	return 0
+}
+
+// benchGovTick measures one full governor round in the healthy steady
+// state: poll all 31 mirrored ports' counters into the window,
+// aggregate, and conclude nothing needs actuating. This is the
+// governor's fixed per-millisecond price per switch.
+func benchGovTick(b *testing.B) {
+	v := &govBenchVantage{queued: make([]stats.Counter, 32), mon: 31}
+	act := &govBenchActuator{}
+	gov := governor.New(governor.Config{
+		Estimator: governor.EstimatorConfig{SFlow: sflow.Config{SampleRate: 64, ControlPlaneCap: 200000}},
+	}, "bench", 0, v, act, govBenchEstimator(), units.Rate10G)
+	t := units.Time(units.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := range v.queued {
+			if p != v.mon {
+				v.queued[p].Add(1250 * 1000) // 10 Gbps per port per tick
+			}
+		}
+		gov.Tick(t)
+		t = t.Add(gov.Config().Tick)
+	}
+	b.StopTimer()
+	if act.commits != 0 {
+		b.Fatalf("governor actuated %d times in the healthy steady state; the bench is not measuring the quiescent tick", act.commits)
+	}
+	if eff, _ := gov.LastEstimate(); eff != 1 {
+		b.Fatalf("effective %.2f in a drop-free rig, want 1", eff)
+	}
+}

@@ -122,13 +122,18 @@ var all = map[string]runner{
 		fmt.Print(experiments.PrioritySamplingTable(experiments.PrioritySampling(seed)).Render())
 		fmt.Print(experiments.TargetRateTable(experiments.TargetRateMirroring(seed)).Render())
 	},
+	"governor": func(seed int64, cfg benchCfg) {
+		pts := experiments.GovernorAccuracy(experiments.GovAccuracyParams{Seed: seed, Duration: cfg.duration})
+		fmt.Print(experiments.GovernorAccuracyTable(pts).Render())
+		fmt.Print(experiments.GovernorEpisodeTable(experiments.GovernorEpisode(seed)).Render())
+	},
 }
 
 // order fixes the presentation sequence for -experiment all.
 var order = []string{
 	"table1", "fig2-4", "samplelatency", "fig5-7", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "fig15", "fig16", "fig17", "fig14",
-	"fig18", "scalability", "extensions",
+	"fig18", "scalability", "extensions", "governor",
 }
 
 func parseSizes(s string) ([]int64, error) {
@@ -172,6 +177,7 @@ func main() {
 	shardMTJSON := flag.String("shard-mt-json", "", "run the multicore sharded ingest benchmarks under GOMAXPROCS=-mt-cpu (self-gated: sharded rows 0 allocs/op; shards=4 beats serial when the host has ≥2 CPUs), write JSON here (\"-\" = stdout), and exit")
 	mtCPU := flag.Int("mt-cpu", 4, "GOMAXPROCS for the -shard-mt-json run (restored after; the report records the effective value)")
 	ingestJSON := flag.String("ingest-json", "", "run the ingest hot-path benchmarks, write JSON here (\"-\" = stdout), and exit")
+	governorJSON := flag.String("governor-json", "", "run the sampling-rate governor benchmarks (self-gated: estimator update rows 0 allocs/op), write JSON here (\"-\" = stdout), and exit")
 	count := flag.Int("count", 1, "repeat each ingest/shard/shard-mt benchmark N times and report the minimum ns/op (allocs: maximum)")
 	verifyRuns := flag.String("verify-run-ids", "", "comma-separated BENCH_*.json paths: verify they share one run_id (regenerated together) and exit")
 	routeJSON := flag.String("route-json", "", "run the routing-plane benchmarks (commit/view/ingest-with-view), write JSON here (\"-\" = stdout), and exit")
@@ -228,10 +234,11 @@ func main() {
 		}
 		return
 	}
-	// The ingest, shard, and shard-mt reports combine into one process
-	// run: they share a freshly minted run_id, so the committed baselines
-	// are provably from the same host and build (see -verify-run-ids).
-	if *ingestJSON != "" || *gateAgainst != "" || *shardJSON != "" || *shardMTJSON != "" {
+	// The ingest, shard, shard-mt, and governor reports combine into one
+	// process run: they share a freshly minted run_id, so the committed
+	// baselines are provably from the same host and build (see
+	// -verify-run-ids).
+	if *ingestJSON != "" || *gateAgainst != "" || *shardJSON != "" || *shardMTJSON != "" || *governorJSON != "" {
 		runID := newRunID()
 		fail := func(err error) {
 			fmt.Fprintln(os.Stderr, err)
@@ -249,6 +256,11 @@ func main() {
 		}
 		if *shardMTJSON != "" {
 			if err := runShardMTBench(*shardMTJSON, *mtCPU, *count, runID); err != nil {
+				fail(err)
+			}
+		}
+		if *governorJSON != "" {
+			if err := runGovernorBench(*governorJSON, *count, runID); err != nil {
 				fail(err)
 			}
 		}

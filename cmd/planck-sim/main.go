@@ -40,9 +40,14 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault injectors (0 = derive from -seed)")
 	traceFlag := flag.Bool("trace", false, "record control-loop spans and print the per-stage latency breakdown (Fig. 10)")
 	traceMin := flag.Int("trace-min", 0, "exit nonzero unless at least this many traces converged (implies -trace)")
+	governFlag := flag.Bool("govern", false, "run a sampling-rate governor per monitored switch and print its episode summary")
+	governMin := flag.Int("govern-min", 0, "exit nonzero unless governors committed at least this many shed/tune episodes and closed as many loops (implies -govern)")
 	flag.Parse()
 	if *traceMin > 0 {
 		*traceFlag = true
+	}
+	if *governMin > 0 {
+		*governFlag = true
 	}
 
 	kinds := map[string]experiments.WorkloadKind{
@@ -83,6 +88,10 @@ func main() {
 		opts.Tracer = tracer
 		if tracer != nil {
 			opts.TraceDump = os.Stderr
+		}
+		if *governFlag {
+			opts.Govern = true
+			opts.GovernorConfig = experiments.GovernorProfile()
 		}
 	})
 	if err != nil {
@@ -140,6 +149,28 @@ func main() {
 		tracer.WriteBreakdown(os.Stdout)
 		if n := int(tracer.Converged.Value()); n < *traceMin {
 			fmt.Fprintf(os.Stderr, "trace-min: %d converged traces, need %d\n", n, *traceMin)
+			os.Exit(1)
+		}
+	}
+	if *governFlag {
+		var commits, converged int
+		fmt.Println()
+		for s, gov := range l.Governors {
+			if gov == nil {
+				continue
+			}
+			eff, conf := gov.LastEstimate()
+			fmt.Printf("governor %s: commits=%d sheds=%d tunes=%d restores=%d converged=%d skipped(dark/cooldown/lowconf)=%d/%d/%d effective=%.2f conf=%.2f\n",
+				l.Net.SwitchNames[s], gov.Commits.Value(), gov.Sheds.Value(), gov.Tunes.Value(),
+				gov.Restores.Value(), gov.ConvergedEpisodes(),
+				gov.SkippedDark.Value(), gov.SkippedCooldown.Value(), gov.SkippedLowConf.Value(),
+				eff, conf)
+			commits += int(gov.Commits.Value())
+			converged += gov.ConvergedEpisodes()
+		}
+		if commits < *governMin || converged < *governMin {
+			fmt.Fprintf(os.Stderr, "govern-min: %d commits / %d converged loops, need %d of each\n",
+				commits, converged, *governMin)
 			os.Exit(1)
 		}
 	}

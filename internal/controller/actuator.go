@@ -55,6 +55,14 @@ func (a *SimActuator) InstallSnapshot(snap *routing.Snapshot) {
 			sw.EnableMirror(a.net.MonitorPort[s], nil)
 		}
 	}
+	// Per-port mirror overrides (governor sheds/tunes) are part of the
+	// snapshot too: a full install must reproduce them, so a reinstalled
+	// data plane matches the committed state bit for bit.
+	snap.EachMirrorOverride(func(s, port int, cfg routing.MirrorPortConfig) {
+		sw := a.switches[s]
+		sw.SetPortMirrored(port, cfg.Mirrored)
+		sw.SetPortMirrorRate(a.eng.Now(), port, cfg.TargetRate)
+	})
 	for i, h := range a.hosts {
 		for d := 0; d < a.net.NumHosts(); d++ {
 			if d == i {
@@ -100,5 +108,12 @@ func (a *SimActuator) Apply(fire units.Time, ch routing.Change) {
 			RewriteDst: true,
 			NewDst:     topo.ShadowMAC(ch.Dst, ch.Tree),
 		})
+	case routing.ChangeMirrorPort:
+		// Management-plane mirror reconfiguration: shed/restore the port
+		// from the mirror session and install or clear its per-port
+		// sample-rate bucket.
+		sw := a.switches[ch.Switch]
+		sw.SetPortMirrored(ch.Port, ch.Mirror.Mirrored)
+		sw.SetPortMirrorRate(fire, ch.Port, ch.Mirror.TargetRate)
 	}
 }

@@ -83,9 +83,10 @@ type Controller struct {
 	OnReroute func(now units.Time, flow packet.FlowKey, srcHost, dstHost, tree int, viaARP bool)
 
 	// Statistics.
-	ARPReroutes int64
-	OFReroutes  int64
-	Events      int64
+	ARPReroutes   int64
+	OFReroutes    int64
+	MirrorCommits int64
+	Events        int64
 
 	met *ctrlMetrics
 
@@ -308,4 +309,53 @@ func (c *Controller) reroute(now units.Time, flow packet.FlowKey, srcHost, dstHo
 			}
 		}), nil)
 	}
+}
+
+// CommitMirror commits a mirror-configuration transaction — the
+// governor's shed/tune actuation — through the same epoch/diff path
+// reroutes take: commit the next snapshot (activation stamped after the
+// modelled management-channel latency, taken from the OpenFlow delay
+// model), diff it against the previous epoch, and schedule exactly the
+// ChangeMirrorPort entries for data-plane actuation. Returns the diff
+// size; a transaction that changed nothing actuates nothing. traceID,
+// when nonzero, attributes the decision and actuations to an open
+// control-loop span (the caller marks convergence out of band once its
+// estimator confirms the reconfiguration took effect). onActuated, when
+// set, fires once after the last diff entry lands.
+func (c *Controller) CommitMirror(now units.Time, traceID uint64, mutate func(*routing.Tx), onActuated func(fire units.Time)) int {
+	d := c.delay(c.cfg.OFDelayMin, c.cfg.OFDelayMax)
+	at := now.Add(d)
+
+	prev := c.store.Load()
+	snap := c.store.Commit(at, mutate)
+	diff := snap.DiffFrom(prev)
+
+	claimed := false
+	if c.trc != nil && traceID != 0 {
+		claimed = c.trc.MarkDecided(traceID, now, trace.Decision{
+			EpochNew: snap.Epoch(),
+			Changes:  len(diff),
+		})
+	}
+	if len(diff) == 0 {
+		return 0
+	}
+	c.MirrorCommits++
+	c.met.mirrorDelay.Observe(int64(d))
+
+	remaining := len(diff)
+	for _, ch := range diff {
+		ch := ch
+		c.eng.Schedule(at, sim.Callback(func(fire units.Time) {
+			c.act.Apply(fire, ch)
+			if claimed {
+				c.trc.MarkActuated(traceID, fire)
+			}
+			remaining--
+			if remaining == 0 && onActuated != nil {
+				onActuated(fire)
+			}
+		}), nil)
+	}
+	return len(diff)
 }

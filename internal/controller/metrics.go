@@ -9,14 +9,16 @@ import (
 // record the modelled control-channel delay chosen for each actuation
 // (the Fig. 16 quantity), in nanoseconds, reported as microseconds.
 type ctrlMetrics struct {
-	arpDelay *obs.Histogram
-	ofDelay  *obs.Histogram
+	arpDelay    *obs.Histogram
+	ofDelay     *obs.Histogram
+	mirrorDelay *obs.Histogram
 }
 
 func newCtrlMetrics() *ctrlMetrics {
 	return &ctrlMetrics{
-		arpDelay: obs.NewScaledHistogram(1e-3),
-		ofDelay:  obs.NewScaledHistogram(1e-3),
+		arpDelay:    obs.NewScaledHistogram(1e-3),
+		ofDelay:     obs.NewScaledHistogram(1e-3),
+		mirrorDelay: obs.NewScaledHistogram(1e-3),
 	}
 }
 
@@ -36,8 +38,10 @@ func (c *Controller) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("planck_controller_arp_reroutes_total", func() float64 { return float64(c.ARPReroutes) })
 	r.GaugeFunc("planck_controller_of_reroutes_total", func() float64 { return float64(c.OFReroutes) })
 	r.GaugeFunc("planck_controller_congestion_events_total", func() float64 { return float64(c.Events) })
+	r.GaugeFunc("planck_controller_mirror_commits_total", func() float64 { return float64(c.MirrorCommits) })
 	r.MustRegister("planck_controller_arp_delay_us", c.met.arpDelay)
 	r.MustRegister("planck_controller_of_delay_us", c.met.ofDelay)
+	r.MustRegister("planck_controller_mirror_delay_us", c.met.mirrorDelay)
 }
 
 // ARPDelays returns the histogram of modelled ARP actuation delays (µs).

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"planck/internal/core"
+	"planck/internal/governor"
 	"planck/internal/sflow"
 	"planck/internal/sim"
 	"planck/internal/topo"
@@ -44,7 +45,7 @@ func chaosOptions(shards int, faultSpec string) Options {
 			// fallback window — useless at ms scale. A software sampler
 			// (or raised hardware budget) makes the degraded estimate
 			// meaningful inside one dark burst.
-			Fallback: sflow.Config{SampleRate: 64, ControlPlaneCap: 200000},
+			Fallback: governor.EstimatorConfig{SFlow: sflow.Config{SampleRate: 64, ControlPlaneCap: 200000}},
 		},
 		FaultSpec: faultSpec,
 	}

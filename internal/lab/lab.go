@@ -14,6 +14,7 @@ import (
 	"planck/internal/controller"
 	"planck/internal/core"
 	"planck/internal/faults"
+	"planck/internal/governor"
 	"planck/internal/obs"
 	"planck/internal/obs/trace"
 	"planck/internal/sim"
@@ -104,6 +105,19 @@ type Options struct {
 	Supervise bool
 	// SupervisorConfig tunes supervision; zero fields take defaults.
 	SupervisorConfig SupervisorConfig
+	// Govern runs a sampling-rate Governor per monitored switch: a
+	// closed-loop control application that estimates the effective
+	// mirror sampling rate online and sheds low-value mirror ports or
+	// tunes per-port sample budgets through the epoch-versioned
+	// snapshot plane when the monitor port saturates. Requires Mirror.
+	// Combined with Supervise, the governor and the supervisor share
+	// one RateEstimator per switch, and the governor never actuates
+	// while the feed is dark.
+	Govern bool
+	// GovernorConfig tunes the governors; zero fields take defaults. A
+	// zero Estimator inherits SupervisorConfig.Fallback, so both
+	// estimator consumers are configured in one place.
+	GovernorConfig governor.Config
 	// FaultSpec, when non-empty, is parsed with faults.ParseSpec and
 	// applied to every monitored collector feed at build time (the
 	// programmatic equivalent is Lab.ApplyFaults).
@@ -148,6 +162,10 @@ type Lab struct {
 	// Supervisors holds each monitored switch's supervision loop when
 	// Options.Supervise is set (indexed by switch; nil otherwise).
 	Supervisors []*Supervisor
+
+	// Governors holds each monitored switch's sampling-rate governor
+	// when Options.Govern is set (indexed by switch; nil otherwise).
+	Governors []*governor.Governor
 
 	// Agg is the federated aggregation plane when Options.Aggregate is
 	// set; it implements te.NetworkSource for fleet-fed traffic
@@ -200,6 +218,9 @@ func New(opts Options) (*Lab, error) {
 	if opts.Transport == TransportLink && !opts.Aggregate {
 		return nil, fmt.Errorf("lab: Options.Transport == TransportLink requires Aggregate (the transport carries vantage reports)")
 	}
+	if opts.Govern && !opts.Mirror {
+		return nil, fmt.Errorf("lab: Options.Govern requires Mirror (the governor actuates mirror configuration)")
+	}
 	if opts.LinkFaultSpec != "" && opts.Transport != TransportLink {
 		return nil, fmt.Errorf("lab: Options.LinkFaultSpec requires Transport == TransportLink")
 	}
@@ -242,6 +263,7 @@ func New(opts Options) (*Lab, error) {
 		Hosts:         make([]*tcpsim.Host, net.NumHosts()),
 		Collectors:    make([]*CollectorNode, net.NumSwitches()),
 		Supervisors:   make([]*Supervisor, net.NumSwitches()),
+		Governors:     make([]*governor.Governor, net.NumSwitches()),
 		Metrics:       obs.NewRegistry(),
 		opts:          opts,
 		collectorCfgs: make([]core.Config, net.NumSwitches()),
@@ -379,6 +401,20 @@ func New(opts Options) (*Lab, error) {
 				sim.Connect(node.Port(), l.Switches[s].Port(mp), opts.LinkDelay)
 			}
 			l.Collectors[s] = node
+			// One shared estimator per governed switch: the supervisor's
+			// dark-feed fallback reads the sFlow side, the governor
+			// cross-references it against the mirror counters.
+			var est *governor.RateEstimator
+			if opts.Govern {
+				ecfg := opts.GovernorConfig.Estimator
+				if ecfg == (governor.EstimatorConfig{}) {
+					ecfg = opts.SupervisorConfig.Fallback
+				}
+				if ecfg.Seed == 0 {
+					ecfg.Seed = opts.Seed + int64(s)*7919 + 1
+				}
+				est = governor.NewRateEstimator(ecfg, len(net.Ports[s]))
+			}
 			if opts.Supervise {
 				// Supervised feeds still get the routing oracle, but
 				// their events reach the controller through the
@@ -387,7 +423,7 @@ func New(opts Options) (*Lab, error) {
 				if node.Collector() != nil {
 					node.Collector().SetPortMapper(l.Ctrl.Mapper(s))
 				}
-				l.Supervisors[s] = newSupervisor(l, s, node, opts.SupervisorConfig)
+				l.Supervisors[s] = newSupervisor(l, s, node, opts.SupervisorConfig, est)
 				if l.vantages != nil && l.vantages[s] != nil {
 					// The plane serves this vantage's links from the
 					// supervisor's sFlow estimator when the vantage goes
@@ -405,6 +441,34 @@ func New(opts Options) (*Lab, error) {
 				} else {
 					l.Ctrl.AttachCollector(s, node.Collector())
 				}
+			}
+			if opts.Govern {
+				gov := governor.New(opts.GovernorConfig, net.SwitchNames[s], s,
+					l.Switches[s], l.Ctrl, est, net.LineRate)
+				if sup := l.Supervisors[s]; sup != nil {
+					// The chaos contract: the governor must not actuate
+					// from a dark vantage's stale estimate.
+					gov.SetDarkGuard(sup.Dark)
+				} else {
+					// No supervisor installed the delivery hook; feed the
+					// estimator's sFlow side here so the shed-port
+					// cross-reference still works.
+					sw := l.Switches[s]
+					prevHook := sw.OnDeliver
+					obsEst := est
+					sw.OnDeliver = func(now units.Time, outPort int, pkt *sim.Packet) {
+						if prevHook != nil {
+							prevHook(now, outPort, pkt)
+						}
+						obsEst.Observe(now, outPort, pkt.FlowKey(), pkt.WireLen)
+					}
+				}
+				if opts.Tracer != nil {
+					gov.SetTracer(opts.Tracer, l.Ctrl.RoutingStore().Epoch)
+				}
+				gov.RegisterMetrics(l.Metrics)
+				l.Governors[s] = gov
+				sim.NewTicker(eng, gov.Config().Tick, gov.Tick)
 			}
 		}
 	}
@@ -538,6 +602,10 @@ func (l *Lab) Vantage(s int) *agg.Vantage {
 // Supervisor returns switch s's supervision loop, or nil when the lab
 // was built without Options.Supervise.
 func (l *Lab) Supervisor(s int) *Supervisor { return l.Supervisors[s] }
+
+// Governor returns switch s's sampling-rate governor, or nil when the
+// lab was built without Options.Govern.
+func (l *Lab) Governor(s int) *governor.Governor { return l.Governors[s] }
 
 // FaultMetrics returns the shared injected-fault counters, or nil when
 // no faults are active.

@@ -3,15 +3,13 @@ package lab
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 
 	"planck/internal/controller"
 	"planck/internal/core"
+	"planck/internal/governor"
 	"planck/internal/obs"
 	"planck/internal/obs/trace"
-	"planck/internal/packet"
-	"planck/internal/sflow"
 	"planck/internal/sim"
 	"planck/internal/units"
 )
@@ -23,14 +21,15 @@ type SupervisorConfig struct {
 	Heartbeat core.HeartbeatConfig
 	// Backoff tunes retried collector→controller event delivery.
 	Backoff controller.BackoffPolicy
-	// Fallback configures the sFlow estimator the supervisor degrades to
-	// when the mirror feed goes dark (default: the paper's G8264 numbers
-	// — 1-in-1024 sampling capped at 300 samples/s; ms-scale tests raise
-	// ControlPlaneCap so a few-ms dark window still collects samples).
-	Fallback sflow.Config
-	// FallbackWindow is the sliding window the fallback estimator
-	// aggregates over (default 8ms).
-	FallbackWindow units.Duration
+	// Fallback configures the shared per-port rate estimator
+	// (governor.RateEstimator) whose sFlow side the supervisor degrades
+	// to when the mirror feed goes dark. Defaults: the paper's G8264
+	// numbers — 1-in-1024 sampling capped at 300 samples/s — over an
+	// 8ms window; ms-scale tests raise ControlPlaneCap so a few-ms dark
+	// window still collects samples. When the lab also runs a governor
+	// on this switch, both consumers share one estimator and therefore
+	// one config — this one.
+	Fallback governor.EstimatorConfig
 	// Seed feeds the supervisor's private PRNGs (delivery jitter, sFlow
 	// sampling) so supervision never perturbs data-plane determinism.
 	// Defaults to the lab seed mixed with the switch index.
@@ -75,7 +74,7 @@ type Supervisor struct {
 
 	hb  *core.HeartbeatMonitor
 	del *controller.Deliverer
-	fb  *fallbackEstimator
+	fb  *governor.RateEstimator
 
 	// gen tags the live collector generation; events queued by a dead
 	// generation (e.g. the drain of a crashed sharded pipeline) are
@@ -111,8 +110,10 @@ type Supervisor struct {
 }
 
 // newSupervisor wires a supervisor over switch s's collector node and
-// starts its heartbeat ticker.
-func newSupervisor(l *Lab, s int, node *CollectorNode, cfg SupervisorConfig) *Supervisor {
+// starts its heartbeat ticker. est, when non-nil, is a shared
+// governor.RateEstimator (the lab passes the governor's when both run
+// on a switch); nil builds a private one from cfg.Fallback.
+func newSupervisor(l *Lab, s int, node *CollectorNode, cfg SupervisorConfig, est *governor.RateEstimator) *Supervisor {
 	if cfg.Seed == 0 {
 		cfg.Seed = l.opts.Seed + int64(s)*7919
 	}
@@ -148,17 +149,24 @@ func newSupervisor(l *Lab, s int, node *CollectorNode, cfg SupervisorConfig) *Su
 	sup.del = controller.NewSimDeliverer(l.Eng, cfg.Backoff, cfg.Seed, send, nil)
 	sup.del.Tracer = l.opts.Tracer
 
-	// Graceful-degradation estimator: sFlow-style sampling chained onto
-	// the switch's delivery hook with a supervisor-private PRNG.
-	sup.fb = newFallbackEstimator(cfg.Fallback, cfg.FallbackWindow,
-		len(l.Net.Ports[s]), cfg.Seed+1)
+	// Graceful-degradation estimator: the sFlow side of the shared
+	// rate estimator, chained onto the switch's delivery hook with a
+	// supervisor-private PRNG.
+	if est == nil {
+		ecfg := cfg.Fallback
+		if ecfg.Seed == 0 {
+			ecfg.Seed = cfg.Seed + 1
+		}
+		est = governor.NewRateEstimator(ecfg, len(l.Net.Ports[s]))
+	}
+	sup.fb = est
 	sw := l.Switches[s]
 	prev := sw.OnDeliver
 	sw.OnDeliver = func(now units.Time, outPort int, pkt *sim.Packet) {
 		if prev != nil {
 			prev(now, outPort, pkt)
 		}
-		sup.fb.observe(now, outPort, pkt)
+		sup.fb.Observe(now, outPort, pkt.FlowKey(), pkt.WireLen)
 	}
 
 	if l.Agg == nil {
@@ -346,88 +354,6 @@ func (sup *Supervisor) FallbackUtilization(p int) units.Rate {
 	return sup.fb.Utilization(sup.lab.Eng.Now(), p)
 }
 
-// fbBuckets is the ring size of the fallback estimator: the window is
-// split into 8 buckets so estimates age out smoothly.
-const fbBuckets = 8
-
-type fbBucket struct {
-	id    int64 // absolute bucket number; stale entries are lazily reset
-	bytes int64 // sampled bytes landed in this bucket
-}
-
-// fallbackEstimator is the degraded monitoring path: one-in-N sampling
-// through a modelled control-plane cap (internal/sflow), aggregated
-// into per-port sliding-window utilization by count multiplication —
-// exactly the coarse estimator of §2.1 that Planck improves on, kept
-// around as the safety net when the mirror feed dies.
-type fallbackEstimator struct {
-	cfg       sflow.Config
-	window    units.Duration
-	bucketDur units.Duration
-	sampler   *sflow.Sampler
-	rings     [][fbBuckets]fbBucket // per egress port
-
-	// curPort routes each sample to its port: the sampler's callback has
-	// no port argument, so observe stashes it here. Engine-goroutine
-	// only.
-	curPort int
-}
-
-func newFallbackEstimator(cfg sflow.Config, window units.Duration, ports int, seed int64) *fallbackEstimator {
-	if cfg.SampleRate <= 0 || cfg.ControlPlaneCap <= 0 {
-		def := sflow.DefaultG8264()
-		if cfg.SampleRate <= 0 {
-			cfg.SampleRate = def.SampleRate
-		}
-		if cfg.ControlPlaneCap <= 0 {
-			cfg.ControlPlaneCap = def.ControlPlaneCap
-		}
-	}
-	if window <= 0 {
-		window = 8 * units.Millisecond
-	}
-	fb := &fallbackEstimator{
-		cfg:       cfg,
-		window:    window,
-		bucketDur: window / fbBuckets,
-		rings:     make([][fbBuckets]fbBucket, ports),
-	}
-	fb.sampler = sflow.NewSampler(cfg, rand.New(rand.NewSource(seed)), fb.record)
-	return fb
-}
-
-// observe offers one switched packet to the sampler.
-func (fb *fallbackEstimator) observe(now units.Time, outPort int, pkt *sim.Packet) {
-	if outPort < 0 || outPort >= len(fb.rings) {
-		return
-	}
-	fb.curPort = outPort
-	fb.sampler.Observe(now, pkt.FlowKey(), pkt.WireLen)
-}
-
-// record lands one selected sample in its time bucket.
-func (fb *fallbackEstimator) record(t units.Time, _ packet.FlowKey, wireLen int) {
-	id := int64(t) / int64(fb.bucketDur)
-	b := &fb.rings[fb.curPort][id%fbBuckets]
-	if b.id != id {
-		b.id, b.bytes = id, 0
-	}
-	b.bytes += int64(wireLen)
-}
-
-// Utilization estimates port p's rate at now: sampled bytes in the
-// window × N / window.
-func (fb *fallbackEstimator) Utilization(now units.Time, p int) units.Rate {
-	if p < 0 || p >= len(fb.rings) {
-		return 0
-	}
-	cur := int64(now) / int64(fb.bucketDur)
-	var bytes int64
-	for i := range fb.rings[p] {
-		b := fb.rings[p][i]
-		if b.id > cur-fbBuckets && b.id <= cur {
-			bytes += b.bytes
-		}
-	}
-	return units.RateOf(bytes*int64(fb.cfg.SampleRate), fb.window)
-}
+// Estimator exposes the supervisor's rate estimator — shared with the
+// switch's governor when both run.
+func (sup *Supervisor) Estimator() *governor.RateEstimator { return sup.fb }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"planck/internal/core"
+	"planck/internal/governor"
 	"planck/internal/obs/trace"
 	"planck/internal/sflow"
 	"planck/internal/te"
@@ -125,7 +126,7 @@ func TestTraceConvergesAcrossRestart(t *testing.T) {
 		Supervise:       true,
 		SupervisorConfig: SupervisorConfig{
 			Heartbeat: core.HeartbeatConfig{Interval: units.Millisecond},
-			Fallback:  sflow.Config{SampleRate: 64, ControlPlaneCap: 200000},
+			Fallback:  governor.EstimatorConfig{SFlow: sflow.Config{SampleRate: 64, ControlPlaneCap: 200000}},
 		},
 		FaultSpec: "crash@30ms",
 		Tracer:    tracer,

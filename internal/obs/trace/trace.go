@@ -495,6 +495,31 @@ func (tr *Tracer) NoteResolve(t units.Time, key packet.FlowKey, dstMAC packet.MA
 	}
 }
 
+// MarkConverged completes span id as converged at time t without a
+// flow-watch match — the out-of-band convergence signal for actuations
+// whose effect is not a relabeled flow. Mirror-config commits converge
+// this way: the governor calls it when the estimator confirms the
+// monitor feed recovered after a shed/tune landed. A span that never
+// decided is left open (there is nothing to converge to yet).
+func (tr *Tracer) MarkConverged(id uint64, t units.Time) {
+	if id == 0 {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	s := tr.active[id]
+	if s == nil || s.DecidedAt == 0 {
+		return
+	}
+	if s.ActuatedAt == 0 {
+		// An actuation callback can still be pending; account the
+		// remainder to the decision time, as NoteResolve does.
+		s.ActuatedAt = s.DecidedAt
+	}
+	s.ConvergedAt = clamp(s.ActuatedAt, t)
+	tr.completeLocked(s, OutcomeConverged)
+}
+
 // Drop completes span id with a terminal non-converged outcome
 // (supervisor stale/duplicate suppression, delivery abandonment).
 func (tr *Tracer) Drop(id uint64, outcome Outcome) {

@@ -30,6 +30,29 @@ type pairKey struct {
 	src, dst int32
 }
 
+// mirrorKey identifies one (switch, output port) in the mirror-config
+// override table.
+type mirrorKey struct {
+	sw, port int32
+}
+
+// MirrorPortConfig is one output port's mirror configuration within a
+// snapshot — the actuation plane's second primitive besides reroutes.
+// The construction-time switchsim defaults (mirror every data port,
+// oversubscribed) are the snapshot default; overrides shed ports from
+// the mirrored set or tune their admitted sample rate.
+type MirrorPortConfig struct {
+	// Mirrored reports whether packets switched to this port are
+	// replicated to the monitor port.
+	Mirrored bool
+	// TargetRate, when positive, pre-thins this port's mirror copies
+	// through a per-port token bucket (§9.2 "rate of samples") instead
+	// of letting the shared monitor queue overflow. Zero inherits the
+	// switch's construction-time behavior (oversubscribed, or the
+	// switch-wide MirrorTargetRate if one is configured).
+	TargetRate units.Rate
+}
+
 // flowOverride records a per-flow tree override and the host pair it
 // was installed for (the ingress switch is derived from src).
 type flowOverride struct {
@@ -62,6 +85,11 @@ type Snapshot struct {
 	flowTrees map[packet.FlowKey]flowOverride
 
 	mirror bool
+	// mirrorCfg holds per-(switch, port) mirror-config overrides on top
+	// of the global mirror setting. Empty on every snapshot that never
+	// saw a mirror commit, so reroute-only stores diff identically to
+	// the pre-mirror-plane behavior.
+	mirrorCfg map[mirrorKey]MirrorPortConfig
 }
 
 // Epoch is the snapshot's monotone version number. Epoch 0 is the
@@ -82,6 +110,46 @@ func (s *Snapshot) LineRate() units.Rate { return s.net.LineRate }
 
 // Mirror reports whether egress mirroring to the monitor port is on.
 func (s *Snapshot) Mirror() bool { return s.mirror }
+
+// MirrorPort resolves the mirror configuration of output port p on
+// switch sw in this snapshot: the override if one is installed, else
+// the default — every port mirrored (at the construction-time rate)
+// while the global mirror setting is on. Callers are expected to treat
+// the monitor port itself as never mirrored.
+func (s *Snapshot) MirrorPort(sw, port int) MirrorPortConfig {
+	if cfg, ok := s.mirrorCfg[mirrorKey{int32(sw), int32(port)}]; ok {
+		return cfg
+	}
+	return MirrorPortConfig{Mirrored: s.mirror}
+}
+
+// MirrorOverridden reports whether (sw, port) carries an explicit
+// mirror-config override in this snapshot.
+func (s *Snapshot) MirrorOverridden(sw, port int) bool {
+	_, ok := s.mirrorCfg[mirrorKey{int32(sw), int32(port)}]
+	return ok
+}
+
+// MirrorOverrides counts installed mirror-config overrides.
+func (s *Snapshot) MirrorOverrides() int { return len(s.mirrorCfg) }
+
+// EachMirrorOverride visits every explicit mirror-config override in
+// deterministic (switch, port) order — the installer's iteration.
+func (s *Snapshot) EachMirrorOverride(fn func(sw, port int, cfg MirrorPortConfig)) {
+	keys := make([]mirrorKey, 0, len(s.mirrorCfg))
+	for k := range s.mirrorCfg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sw != keys[j].sw {
+			return keys[i].sw < keys[j].sw
+		}
+		return keys[i].port < keys[j].port
+	})
+	for _, k := range keys {
+		fn(int(k.sw), int(k.port), s.mirrorCfg[k])
+	}
+}
 
 // BaseTree returns the base routing tree for a destination host.
 func (s *Snapshot) BaseTree(dst int) int {
@@ -158,6 +226,11 @@ const (
 	// ChangeFlowTree repoints a single flow onto Tree; the actuation
 	// is a dst-MAC rewrite flow rule at Src's ingress switch.
 	ChangeFlowTree
+	// ChangeMirrorPort reconfigures one port's mirror session on one
+	// switch (shed from / restore to the mirrored set, or tune its
+	// admitted sample rate); the actuation is a management-plane mirror
+	// reconfiguration at the switch.
+	ChangeMirrorPort
 )
 
 // Change is one actuation step derived from a snapshot diff.
@@ -166,6 +239,10 @@ type Change struct {
 	// Flow is set for ChangeFlowTree only.
 	Flow           packet.FlowKey
 	Src, Dst, Tree int
+	// Switch, Port, and Mirror are set for ChangeMirrorPort only: the
+	// new mirror configuration of output port Port on switch Switch.
+	Switch, Port int
+	Mirror       MirrorPortConfig
 }
 
 // DiffFrom lists the overrides present in s that prev does not carry
@@ -185,10 +262,29 @@ func (s *Snapshot) DiffFrom(prev *Snapshot) []Change {
 			out = append(out, Change{Kind: ChangeFlowTree, Flow: fk, Src: int(o.src), Dst: int(o.dst), Tree: int(o.tree)})
 		}
 	}
+	for mk, cfg := range s.mirrorCfg {
+		if pc, ok := prev.mirrorCfg[mk]; !ok || pc != cfg {
+			out = append(out, Change{Kind: ChangeMirrorPort, Switch: int(mk.sw), Port: int(mk.port), Mirror: cfg})
+		}
+	}
+	// An override cleared by this commit restores the port to the
+	// snapshot default — that restoration is itself actuation.
+	for mk := range prev.mirrorCfg {
+		if _, ok := s.mirrorCfg[mk]; !ok {
+			out = append(out, Change{Kind: ChangeMirrorPort, Switch: int(mk.sw), Port: int(mk.port),
+				Mirror: MirrorPortConfig{Mirrored: s.mirror}})
+		}
+	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind
+		}
+		if a.Kind == ChangeMirrorPort {
+			if a.Switch != b.Switch {
+				return a.Switch < b.Switch
+			}
+			return a.Port < b.Port
 		}
 		if a.Src != b.Src {
 			return a.Src < b.Src
@@ -221,8 +317,8 @@ func flowLess(a, b packet.FlowKey) bool {
 // lazily on first write so read-mostly commits stay cheap and earlier
 // epochs stay frozen.
 type Tx struct {
-	snap               *Snapshot
-	ownPairs, ownFlows bool
+	snap                          *Snapshot
+	ownPairs, ownFlows, ownMirror bool
 }
 
 // SetBaseTrees replaces the base tree assignment (one entry per host).
@@ -260,6 +356,38 @@ func (tx *Tx) SetFlowTree(flow packet.FlowKey, src, dst, tree int) {
 		tx.ownFlows = true
 	}
 	tx.snap.flowTrees[flow] = flowOverride{int32(src), int32(dst), int32(tree)}
+}
+
+// SetMirrorPort installs (or replaces) the mirror-config override for
+// output port p on switch sw — the governor's shed/tune primitive.
+func (tx *Tx) SetMirrorPort(sw, port int, cfg MirrorPortConfig) {
+	if !tx.ownMirror {
+		cp := make(map[mirrorKey]MirrorPortConfig, len(tx.snap.mirrorCfg)+1)
+		for k, v := range tx.snap.mirrorCfg {
+			cp[k] = v
+		}
+		tx.snap.mirrorCfg = cp
+		tx.ownMirror = true
+	}
+	tx.snap.mirrorCfg[mirrorKey{int32(sw), int32(port)}] = cfg
+}
+
+// ClearMirrorPort removes the mirror-config override for (sw, port),
+// restoring the port to the snapshot default.
+func (tx *Tx) ClearMirrorPort(sw, port int) {
+	k := mirrorKey{int32(sw), int32(port)}
+	if _, ok := tx.snap.mirrorCfg[k]; !ok {
+		return
+	}
+	if !tx.ownMirror {
+		cp := make(map[mirrorKey]MirrorPortConfig, len(tx.snap.mirrorCfg))
+		for kk, v := range tx.snap.mirrorCfg {
+			cp[kk] = v
+		}
+		tx.snap.mirrorCfg = cp
+		tx.ownMirror = true
+	}
+	delete(tx.snap.mirrorCfg, k)
 }
 
 // ClearFlowTree removes a per-flow override, letting the flow fall

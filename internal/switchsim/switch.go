@@ -125,6 +125,14 @@ type Switch struct {
 	monitorPort   int32
 	mirrored      []bool // indexed by output port: replicate to monitor?
 
+	// Per-port mirror-rate overrides installed at runtime by mirror-config
+	// commits (governor tuning). A positive rate pre-thins that port's
+	// copies through its own token bucket before any shared machinery;
+	// zero leaves the construction-time behavior untouched.
+	portMirrorRate []units.Rate
+	portTokens     []float64
+	portTokensAt   []units.Time
+
 	// Priority mirror queue (§9.2 preferential sampling).
 	prioQ     []*sim.Packet
 	prioHead  int
@@ -144,6 +152,18 @@ type Switch struct {
 	DataDropped   stats.Counter // data packets dropped by buffer admission
 	MirrorQueued  stats.Counter // mirror copies enqueued
 	MirrorDropped stats.Counter // mirror copies dropped (the sampling drop)
+	// MirrorThinned counts copies discarded by a governor-installed
+	// per-port rate override. Thinning is configured sampling at a known
+	// rate (§9.2), not an uncontrolled sampling drop, so it is accounted
+	// apart from MirrorDropped — the governor's saturation signal must
+	// clear once its own tuning has the queue under control.
+	MirrorThinned stats.Counter
+	// mirrorQueuedBy/mirrorDroppedBy/mirrorThinnedBy break the mirror
+	// counters out by the mirrored source output port, so an estimator
+	// can attribute sampling drops to the port whose traffic caused them.
+	mirrorQueuedBy  []stats.Counter
+	mirrorDroppedBy []stats.Counter
+	mirrorThinnedBy []stats.Counter
 	// MirrorPrioQueued counts samples admitted through the §9.2 priority
 	// class.
 	MirrorPrioQueued stats.Counter
@@ -178,6 +198,12 @@ func New(eng *sim.Engine, cfg Config) (*Switch, error) {
 		edgePort:        make([]bool, cfg.NumPorts),
 		mirrored:        make([]bool, cfg.NumPorts),
 		monitorPort:     -1,
+		portMirrorRate:  make([]units.Rate, cfg.NumPorts),
+		portTokens:      make([]float64, cfg.NumPorts),
+		portTokensAt:    make([]units.Time, cfg.NumPorts),
+		mirrorQueuedBy:  make([]stats.Counter, cfg.NumPorts),
+		mirrorDroppedBy: make([]stats.Counter, cfg.NumPorts),
+		mirrorThinnedBy: make([]stats.Counter, cfg.NumPorts),
 	}
 	sw.ports = make([]*sim.Port, cfg.NumPorts)
 	sw.queues = make([]*outQueue, cfg.NumPorts)
@@ -232,6 +258,76 @@ func (sw *Switch) DisableMirror() {
 	for i := range sw.mirrored {
 		sw.mirrored[i] = false
 	}
+}
+
+// MirrorEnabled reports whether egress mirroring is on.
+func (sw *Switch) MirrorEnabled() bool { return sw.mirrorEnabled }
+
+// MonitorPort returns the designated monitor port, or -1 while
+// mirroring is off.
+func (sw *Switch) MonitorPort() int { return int(sw.monitorPort) }
+
+// PortMirrored reports whether packets switched to output port p are
+// currently replicated to the monitor port.
+func (sw *Switch) PortMirrored(p int) bool {
+	return sw.mirrorEnabled && p >= 0 && p < len(sw.mirrored) && sw.mirrored[p]
+}
+
+// SetPortMirrored sheds output port p from (or restores it to) the
+// mirrored set at runtime — the management-plane actuation behind a
+// ChangeMirrorPort diff entry. The monitor port itself stays
+// unmirrored. Copies already buffered on the monitor queue drain
+// normally; only the replication decision changes.
+func (sw *Switch) SetPortMirrored(p int, on bool) {
+	if p < 0 || p >= len(sw.mirrored) || int32(p) == sw.monitorPort {
+		return
+	}
+	sw.mirrored[p] = on
+}
+
+// SetPortMirrorRate installs (r > 0) or clears (r == 0) a per-port
+// "rate of samples" token bucket for output port p, effective from
+// now. Distinct from the switch-wide Config.MirrorTargetRate: the
+// per-port bucket is the governor's tuning knob and composes with the
+// shared machinery downstream of it.
+func (sw *Switch) SetPortMirrorRate(now units.Time, p int, r units.Rate) {
+	if p < 0 || p >= len(sw.portMirrorRate) {
+		return
+	}
+	sw.portMirrorRate[p] = r
+	sw.portTokens[p] = 0
+	sw.portTokensAt[p] = now
+}
+
+// PortMirrorRate returns output port p's per-port rate override (zero
+// when none is installed).
+func (sw *Switch) PortMirrorRate(p int) units.Rate {
+	if p < 0 || p >= len(sw.portMirrorRate) {
+		return 0
+	}
+	return sw.portMirrorRate[p]
+}
+
+// MirrorPortCounters returns the cumulative mirror copies queued and
+// dropped for packets switched to output port p — the per-port
+// breakdown of MirrorQueued/MirrorDropped that lets an estimator
+// attribute sampling drops to the port whose traffic caused them.
+func (sw *Switch) MirrorPortCounters(p int) (queued, dropped stats.Counter) {
+	if p < 0 || p >= len(sw.mirrorQueuedBy) {
+		return
+	}
+	return sw.mirrorQueuedBy[p], sw.mirrorDroppedBy[p]
+}
+
+// MirrorPortThinned returns the cumulative mirror copies port p's
+// per-port rate override discarded — intentional, governor-configured
+// thinning, accounted apart from the uncontrolled sampling drops in
+// MirrorPortCounters.
+func (sw *Switch) MirrorPortThinned(p int) stats.Counter {
+	if p < 0 || p >= len(sw.mirrorThinnedBy) {
+		return stats.Counter{}
+	}
+	return sw.mirrorThinnedBy[p]
 }
 
 // InstallMAC points dstMAC at output port out.
@@ -334,7 +430,7 @@ func (sw *Switch) Receive(now units.Time, in *sim.Port, pkt *sim.Packet) {
 	// Egress mirror replication happens on the forwarding decision, before
 	// the shadow-MAC restore, so collectors observe the routing label.
 	if sw.mirrorEnabled && sw.mirrored[out] {
-		sw.enqueueMirror(now, pkt)
+		sw.enqueueMirror(now, int(out), pkt)
 	}
 
 	// Shadow-MAC restore at the destination's egress switch.
@@ -381,14 +477,37 @@ func (sw *Switch) enqueueData(now units.Time, out int, pkt *sim.Packet) {
 
 // enqueueMirror replicates pkt onto the monitor queue, tail-dropping at
 // the fixed mirror allocation. These drops ARE the sampling mechanism.
-func (sw *Switch) enqueueMirror(now units.Time, pkt *sim.Packet) {
+// out is the data output port the packet was switched to, used to
+// attribute mirror accounting per mirrored source port.
+func (sw *Switch) enqueueMirror(now units.Time, out int, pkt *sim.Packet) {
+	size := int64(pkt.WireLen)
+
+	// Governor-installed per-port rate override: pre-thin this port's
+	// copies at replication time, ahead of any shared machinery, so a
+	// tuned port cannot starve the others' share of the monitor queue.
+	if r := sw.portMirrorRate[out]; r > 0 {
+		if now > sw.portTokensAt[out] {
+			sw.portTokens[out] += now.Sub(sw.portTokensAt[out]).Seconds() * float64(r) / 8
+			if burst := float64(4 * 1538); sw.portTokens[out] > burst {
+				sw.portTokens[out] = burst
+			}
+			sw.portTokensAt[out] = now
+		}
+		if sw.portTokens[out] < float64(size) {
+			sw.MirrorThinned.Add(pkt.WireLen)
+			sw.mirrorThinnedBy[out].Add(pkt.WireLen)
+			return
+		}
+		sw.portTokens[out] -= float64(size)
+	}
+
 	if sw.SampleSink != nil {
 		// §9.2 in-switch collector: no port, no queue, no buffering.
 		sw.MirrorQueued.Add(pkt.WireLen)
+		sw.mirrorQueuedBy[out].Add(pkt.WireLen)
 		sw.SampleSink(now, pkt)
 		return
 	}
-	size := int64(pkt.WireLen)
 
 	// §9.2 "rate of samples": pre-thin through a token bucket instead of
 	// letting the queue overflow; samples then see minimal buffering.
@@ -402,6 +521,7 @@ func (sw *Switch) enqueueMirror(now units.Time, pkt *sim.Packet) {
 		}
 		if sw.mirrorTokens < float64(size) {
 			sw.MirrorDropped.Add(pkt.WireLen)
+			sw.mirrorDroppedBy[out].Add(pkt.WireLen)
 			return
 		}
 		sw.mirrorTokens -= float64(size)
@@ -422,6 +542,7 @@ func (sw *Switch) enqueueMirror(now units.Time, pkt *sim.Packet) {
 			sw.prioBytes += size
 			sw.sharedUsed += size
 			sw.MirrorPrioQueued.Add(clone.WireLen)
+			sw.mirrorQueuedBy[out].Add(clone.WireLen)
 			sw.ports[sw.monitorPort].Kick(now)
 			return
 		}
@@ -432,6 +553,7 @@ func (sw *Switch) enqueueMirror(now units.Time, pkt *sim.Packet) {
 	if q.bytes+size > sw.cfg.MirrorBufferBytes ||
 		sw.sharedUsed+size > sw.cfg.SharedBufferBytes {
 		sw.MirrorDropped.Add(pkt.WireLen)
+		sw.mirrorDroppedBy[out].Add(pkt.WireLen)
 		return
 	}
 	clone := sw.eng.ClonePacket(pkt)
@@ -439,6 +561,7 @@ func (sw *Switch) enqueueMirror(now units.Time, pkt *sim.Packet) {
 	sw.chargeShared(q, size)
 	q.push(clone)
 	sw.MirrorQueued.Add(clone.WireLen)
+	sw.mirrorQueuedBy[out].Add(clone.WireLen)
 	q.port.Kick(now)
 }
 
